@@ -1,0 +1,40 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md."""
+
+from benchmarks.conftest import print_rows
+from repro.experiments.ablations import (
+    run_conversion_ablation,
+    run_quality_ablations,
+    run_worker_local_ablation,
+)
+
+
+def test_quality_ablations(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: run_quality_ablations(num_partitions=16, dataset="TU", scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    print_rows("Ablations — balance penalty, probabilistic migration, tie-breaking", rows)
+    by_variant = {row["variant"]: row for row in rows}
+    # Without the balance penalty the partitioning drifts out of balance.
+    assert by_variant["no_balance_penalty"]["rho"] >= by_variant["baseline"]["rho"]
+
+
+def test_conversion_ablation(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: run_conversion_ablation(num_partitions=8, scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    print_rows("Ablation — direction-aware (eq. 3) vs naive undirected conversion", rows)
+    assert {row["variant"] for row in rows} == {"weighted", "naive"}
+
+
+def test_worker_local_updates_ablation(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_worker_local_ablation(num_partitions=4),
+        rounds=1,
+        iterations=1,
+    )
+    print_rows("Ablation — per-worker asynchronous load counters (Pregel implementation)", rows)
+    assert len(rows) == 2

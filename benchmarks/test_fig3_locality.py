@@ -1,0 +1,25 @@
+"""Figure 3 — locality vs number of partitions, and improvement over hash."""
+
+from benchmarks.conftest import print_rows
+from repro.experiments.fig3 import run_fig3
+
+
+def test_fig3_locality(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: run_fig3(k_values=(2, 4, 8, 16, 32, 64), scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    print_rows("Figure 3 — phi per graph and k; improvement over hash", rows)
+
+    by_graph: dict[str, list[dict]] = {}
+    for row in rows:
+        by_graph.setdefault(row["graph"], []).append(row)
+    for graph, graph_rows in by_graph.items():
+        graph_rows.sort(key=lambda r: r["k"])
+        # Fig 3(a): locality decreases (weakly) with more partitions.
+        assert graph_rows[0]["phi"] >= graph_rows[-1]["phi"] - 0.05, graph
+        # Fig 3(b): Spinner always beats hash partitioning, and the relative
+        # improvement grows with k.
+        assert all(row["improvement"] > 1.0 for row in graph_rows), graph
+        assert graph_rows[-1]["improvement"] > graph_rows[0]["improvement"], graph

@@ -1,0 +1,32 @@
+"""Figure 4 — evolution of phi, rho and score(G) during partitioning."""
+
+from benchmarks.conftest import print_rows
+from repro.experiments.fig4 import halting_iteration, run_fig4
+
+
+def test_fig4a_twitter_evolution(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: run_fig4(dataset="TW", num_partitions=32, max_iterations=60, scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    print_rows("Figure 4(a) — Twitter proxy, k=32 (every 5th iteration)", rows[::5])
+    print(f"halting heuristic would stop at iteration {halting_iteration(rows)}")
+
+    # rho starts high under random assignment and is driven down quickly...
+    assert rows[0]["rho"] > rows[-1]["rho"] or rows[0]["rho"] <= 1.2
+    # ...while phi and the aggregate score improve monotonically on the whole.
+    assert rows[-1]["phi"] > rows[0]["phi"]
+    assert rows[-1]["score"] > rows[0]["score"]
+
+
+def test_fig4b_web_graph_evolution(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: run_fig4(dataset="Y!", num_partitions=16, max_iterations=50, scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    print_rows("Figure 4(b) — Yahoo! web proxy, k=16 (every 5th iteration)", rows[::5])
+    # The web graph converges to high locality (the paper reports 73%).
+    assert rows[-1]["phi"] > 0.5
+    assert rows[-1]["rho"] <= 1.3

@@ -1,0 +1,43 @@
+"""Figure 6 — scalability: runtime vs graph size, workers and partitions."""
+
+from benchmarks.conftest import print_rows
+from repro.experiments.fig6 import run_fig6a, run_fig6b, run_fig6c
+
+
+def test_fig6a_runtime_vs_graph_size(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: run_fig6a(vertex_counts=(1000, 2000, 4000, 8000, 16000), scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    print_rows("Figure 6(a) — first-iteration runtime vs |V| (Watts-Strogatz)", rows)
+    # Near-linear: runtime grows with the graph, and 16x more vertices cost
+    # far less than 100x more time.
+    assert rows[-1]["runtime_ms"] > rows[0]["runtime_ms"]
+    assert rows[-1]["runtime_ms"] < rows[0]["runtime_ms"] * 120
+
+
+def test_fig6b_runtime_vs_workers(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: run_fig6b(worker_counts=(2, 4, 8, 16), num_vertices=3000, scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    print_rows("Figure 6(b) — simulated first-iteration time vs workers", rows)
+    # More workers -> shorter superstep (the paper reports ~7.6x for 7.6x).
+    assert rows[-1]["simulated_time"] < rows[0]["simulated_time"]
+    speedup = rows[0]["simulated_time"] / rows[-1]["simulated_time"]
+    assert speedup > 3.0
+
+
+def test_fig6c_runtime_vs_partitions(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: run_fig6c(partition_counts=(2, 4, 8, 16, 32, 64), num_vertices=8000,
+                          scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    print_rows("Figure 6(c) — first-iteration runtime vs number of partitions", rows)
+    # Cost grows with k (the per-vertex heuristic is proportional to k) but
+    # stays near-linear.
+    assert rows[-1]["runtime_ms"] >= rows[0]["runtime_ms"]

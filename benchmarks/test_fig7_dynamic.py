@@ -1,0 +1,26 @@
+"""Figure 7 — adapting the partitioning to dynamic graph changes."""
+
+from benchmarks.conftest import print_rows
+from repro.experiments.fig7 import run_fig7
+
+
+def test_fig7_dynamic_adaptation(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: run_fig7(change_fractions=(0.005, 0.01, 0.05, 0.10, 0.20, 0.30),
+                         num_partitions=16, scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    print_rows(
+        "Figure 7 — incremental adaptation vs repartitioning from scratch "
+        "(paper: up to 86% time / 92% message savings; 8-11% vs 95-98% vertices moved)",
+        rows,
+    )
+    for row in rows:
+        # (a) adapting is cheaper than repartitioning from scratch.
+        assert row["time_savings_pct"] > 0
+        assert row["message_savings_pct"] > 0
+        # (b) adapting moves far fewer vertices than repartitioning.
+        assert row["moved_adaptive_pct"] < row["moved_scratch_pct"]
+        # Quality after adaptation stays comparable to a scratch run.
+        assert row["phi_adaptive"] >= row["phi_scratch"] - 0.1

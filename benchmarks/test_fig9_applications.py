@@ -1,0 +1,18 @@
+"""Figure 9 — impact of the Spinner partitioning on application runtimes."""
+
+from benchmarks.conftest import print_rows
+from repro.experiments.fig9 import run_fig9
+
+
+def test_fig9_application_performance(benchmark, scale):
+    rows = benchmark.pedantic(lambda: run_fig9(scale=scale), rounds=1, iterations=1)
+    print_rows(
+        "Figure 9 — % runtime improvement of SP / PR / CC with Spinner placement "
+        "(paper: 25-50%)",
+        rows,
+    )
+    for row in rows:
+        # Spinner placement reduces both runtime and network traffic for
+        # every application / graph combination.
+        assert row["improvement_pct"] > 0, row
+        assert row["remote_msgs_spinner"] < row["remote_msgs_hash"], row

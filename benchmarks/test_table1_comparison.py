@@ -1,0 +1,22 @@
+"""Table I — Spinner vs Wang / LDG / Fennel / METIS on the Twitter proxy."""
+
+from benchmarks.conftest import print_rows
+from repro.experiments.table1 import run_table1
+
+
+def test_table1_comparison(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: run_table1(k_values=(2, 4, 8, 16, 32), scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    print_rows("Table I — phi / rho per approach and k (Twitter proxy)", rows)
+
+    by_key = {(row["approach"], row["k"]): row for row in rows}
+    for k in (2, 4, 8, 16, 32):
+        spinner = by_key[("spinner", k)]
+        # Spinner's balance stays tight (the paper reports 1.02-1.05).
+        assert spinner["rho"] <= 1.3
+        # Spinner's locality is competitive with the best baseline.
+        best_phi = max(row["phi"] for (_a, kk), row in by_key.items() if kk == k)
+        assert spinner["phi"] >= 0.75 * best_phi

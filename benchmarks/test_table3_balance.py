@@ -1,0 +1,11 @@
+"""Table III — average maximum normalized load per graph."""
+
+from benchmarks.conftest import print_rows
+from repro.experiments.table3 import run_table3
+
+
+def test_table3_balance(benchmark, scale):
+    rows = benchmark.pedantic(lambda: run_table3(scale=scale), rounds=1, iterations=1)
+    print_rows("Table III — average rho per graph (paper: 1.04-1.06)", rows)
+    for row in rows:
+        assert 1.0 <= row["rho"] <= 1.35

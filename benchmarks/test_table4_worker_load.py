@@ -1,0 +1,21 @@
+"""Table IV — impact of partitioning balance on worker load (PageRank)."""
+
+from benchmarks.conftest import print_rows
+from repro.experiments.table4 import run_table4
+
+
+def test_table4_worker_load(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: run_table4(num_workers=16, num_partitions=16, pagerank_iterations=10,
+                           scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    print_rows(
+        "Table IV — superstep worker time, hash vs Spinner placement "
+        "(paper: Spinner reduces mean and max superstep time)",
+        rows,
+    )
+    by_approach = {row["approach"]: row for row in rows}
+    assert by_approach["spinner"]["mean"] < by_approach["random"]["mean"]
+    assert by_approach["spinner"]["max"] < by_approach["random"]["max"]

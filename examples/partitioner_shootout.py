@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Compare Spinner against the baseline partitioners on one graph.
+
+A runnable miniature of Table I: every registered partitioner (hash, LDG,
+Fennel, the METIS-like multilevel partitioner, Wang et al. and Spinner)
+partitions the same Twitter-like graph, and the script prints locality and
+balance for each, for a range of partition counts.
+
+Run with:  python examples/partitioner_shootout.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.config import SpinnerConfig
+from repro.graph.conversion import ensure_undirected
+from repro.graph.datasets import twitter_proxy
+from repro.metrics.reporting import format_table
+from repro.partitioners.registry import make_partitioner
+
+
+def main() -> None:
+    graph = ensure_undirected(twitter_proxy(scale=0.25, seed=4))
+    print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
+
+    approaches = ("hash", "ldg", "fennel", "metis", "wang", "spinner")
+    rows = []
+    for k in (4, 16):
+        for name in approaches:
+            if name == "spinner":
+                partitioner = make_partitioner(name, config=SpinnerConfig(seed=4))
+            else:
+                partitioner = make_partitioner(name)
+            start = time.perf_counter()
+            output = partitioner.run(graph, k)
+            rows.append(
+                {
+                    "k": k,
+                    "partitioner": name,
+                    "phi": round(output.phi, 3),
+                    "rho": round(output.rho, 3),
+                    "seconds": round(time.perf_counter() - start, 2),
+                }
+            )
+    print()
+    print(format_table(rows, title="Partitioner comparison (Twitter proxy)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setuptools entry point.
+
+The project metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed in environments without the ``wheel`` package or
+network access (legacy ``pip install -e . --no-use-pep517`` path).
+"""
+
+from setuptools import setup
+
+setup()

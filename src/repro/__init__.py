@@ -1,0 +1,37 @@
+"""Reproduction of *Spinner: Scalable Graph Partitioning in the Cloud*.
+
+This package provides a from-scratch Python implementation of the Spinner
+graph partitioning algorithm (Martella et al., ICDE 2017), the Pregel-style
+execution substrate it was designed for, the baseline partitioners it is
+evaluated against, the analytical applications used in the paper's
+evaluation, and the benchmark harness that regenerates every table and
+figure of the evaluation section.
+
+The most common entry points are:
+
+``repro.graph``
+    Graph data structures, generators and synthetic dataset proxies.
+
+``repro.core``
+    The Spinner algorithm itself, both the faithful Pregel implementation
+    (:class:`repro.core.spinner.SpinnerPartitioner`) and a vectorized
+    NumPy implementation (:class:`repro.core.fast.FastSpinner`).
+
+``repro.partitioners``
+    Baseline partitioners (hash, LDG, Fennel, METIS-like, Wang et al.).
+
+``repro.pregel``
+    The simulated Pregel/Giraph engine with workers, aggregators and a
+    cluster cost model.
+
+``repro.metrics``
+    Partitioning quality metrics (locality ``phi``, balance ``rho``,
+    the global score, partitioning difference).
+
+``repro.experiments``
+    One module per table/figure of the paper, used by ``benchmarks/``.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

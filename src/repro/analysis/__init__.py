@@ -1,0 +1,28 @@
+"""Analytical results of the paper (Propositions 1-3) as executable models.
+
+* :mod:`repro.analysis.load_model` — the stochastic load-vector model of
+  Section III-C: the per-partition load evolves as a product of
+  row-stochastic matrices; under B-connectivity it converges exponentially
+  to the even balancing (Proposition 1).
+* :mod:`repro.analysis.connectivity` — B-connectivity of a sequence of
+  partition (load-exchange) graphs (Definition 1).
+* :mod:`repro.analysis.overload_bound` — the Hoeffding bound of
+  Proposition 3 on the probability that a partition exceeds its capacity
+  after one probabilistic migration step.
+
+These are used by property tests (the implementation should respect the
+bounds) and by the ablation/analysis benchmarks.
+"""
+
+from repro.analysis.connectivity import is_b_connected, is_strongly_connected
+from repro.analysis.load_model import LoadVectorModel, estimate_convergence_rate
+from repro.analysis.overload_bound import empirical_overload_rate, overload_probability_bound
+
+__all__ = [
+    "LoadVectorModel",
+    "empirical_overload_rate",
+    "estimate_convergence_rate",
+    "is_b_connected",
+    "is_strongly_connected",
+    "overload_probability_bound",
+]

@@ -1,0 +1,79 @@
+"""B-connectivity of partition (load-exchange) graphs (Definition 1).
+
+The convergence result of Proposition 1 requires that, over every window
+of ``B`` consecutive iterations, the union of the partition graphs (one
+node per partition, an edge ``(i, j)`` whenever load moved from ``i`` to
+``j``) is strongly connected — i.e. every partition periodically exchanges
+load with every other, directly or transitively.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def _reachable(num_nodes: int, adjacency: dict[int, set[int]], start: int) -> set[int]:
+    seen = {start}
+    stack = [start]
+    while stack:
+        node = stack.pop()
+        for neighbour in adjacency.get(node, ()):  # pragma: no branch
+            if neighbour not in seen:
+                seen.add(neighbour)
+                stack.append(neighbour)
+    return seen
+
+
+def is_strongly_connected(num_nodes: int, edges: Iterable[tuple[int, int]]) -> bool:
+    """Whether the directed graph on ``0..num_nodes-1`` is strongly connected."""
+    if num_nodes <= 1:
+        return True
+    forward: dict[int, set[int]] = {}
+    backward: dict[int, set[int]] = {}
+    for source, target in edges:
+        forward.setdefault(source, set()).add(target)
+        backward.setdefault(target, set()).add(source)
+    return (
+        len(_reachable(num_nodes, forward, 0)) == num_nodes
+        and len(_reachable(num_nodes, backward, 0)) == num_nodes
+    )
+
+
+def is_b_connected(
+    num_partitions: int,
+    partition_graphs: Sequence[Iterable[tuple[int, int]]],
+    window: int,
+) -> bool:
+    """Check Definition 1 over a recorded sequence of partition graphs.
+
+    ``partition_graphs[t]`` holds the directed load-exchange edges of
+    iteration ``t``.  The sequence is B-connected (for ``B = window``) when
+    every window of ``window`` consecutive graphs has a strongly connected
+    union.  Trailing iterations that do not fill a whole window are
+    ignored, matching the asymptotic nature of the definition.
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    num_windows = len(partition_graphs) // window
+    for index in range(num_windows):
+        union_edges: set[tuple[int, int]] = set()
+        for offset in range(window):
+            union_edges.update(partition_graphs[index * window + offset])
+        if not is_strongly_connected(num_partitions, union_edges):
+            return False
+    return True
+
+
+def migration_edges(
+    labels_before: Sequence[int], labels_after: Sequence[int]
+) -> set[tuple[int, int]]:
+    """Directed load-exchange edges implied by one migration step.
+
+    An edge ``(i, j)`` is present when at least one vertex moved from
+    partition ``i`` to partition ``j``.  Self-loops are omitted.
+    """
+    edges: set[tuple[int, int]] = set()
+    for before, after in zip(labels_before, labels_after):
+        if before != after:
+            edges.add((int(before), int(after)))
+    return edges

@@ -1,0 +1,111 @@
+"""Stochastic load-vector model (paper Section III-C, Proposition 1).
+
+The analysis abstracts Spinner's balance dynamics into a k-dimensional
+load vector ``x`` that evolves as ``x_{t+1} = X_t x_t`` where each ``X_t``
+is a row-stochastic, 1-local, uniformly bounded matrix describing which
+fraction of every partition's load moved where during iteration ``t``.
+Under B-connectivity the product is ergodic and the load converges
+exponentially fast to the even balancing ``x* = [C, ..., C]``.
+
+:class:`LoadVectorModel` simulates exactly that process and is used by
+tests and benchmarks to demonstrate (and measure) the exponential rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class LoadVectorModel:
+    """Simulate the load-exchange dynamics among ``k`` partitions.
+
+    Parameters
+    ----------
+    num_partitions:
+        Dimension ``k`` of the load vector.
+    exchange_fraction:
+        Fraction of a partition's load offered to other partitions per
+        iteration (the off-diagonal mass of the stochastic matrix).
+    seed:
+        Seed for the random exchange pattern.
+    """
+
+    num_partitions: int
+    exchange_fraction: float = 0.2
+    seed: int | None = 0
+
+    def __post_init__(self) -> None:
+        if self.num_partitions < 2:
+            raise ConfigurationError("num_partitions must be at least 2")
+        if not 0.0 < self.exchange_fraction < 1.0:
+            raise ConfigurationError("exchange_fraction must lie in (0, 1)")
+        self._rng = np.random.default_rng(self.seed)
+
+    # ------------------------------------------------------------------
+    def random_stochastic_matrix(self) -> np.ndarray:
+        """One row-stochastic, 1-local, uniformly bounded exchange matrix.
+
+        Every partition keeps ``1 - exchange_fraction`` of its load and
+        spreads the rest over a random non-empty subset of the others,
+        which guarantees the self-loop and uniform-boundedness properties
+        used in the proof of Proposition 1.
+        """
+        k = self.num_partitions
+        matrix = np.zeros((k, k), dtype=np.float64)
+        for row in range(k):
+            others = [col for col in range(k) if col != row]
+            num_targets = int(self._rng.integers(1, k))
+            targets = self._rng.choice(others, size=num_targets, replace=False)
+            matrix[row, row] = 1.0 - self.exchange_fraction
+            share = self.exchange_fraction / num_targets
+            for target in targets:
+                matrix[row, target] = share
+        return matrix
+
+    def simulate(self, initial_loads: np.ndarray, iterations: int) -> np.ndarray:
+        """Run the dynamics and return the load vector after each iteration.
+
+        Returns an array of shape ``(iterations + 1, k)`` whose first row is
+        the initial load vector.  The update follows eq. (9) of the paper,
+        ``x_{t+1} = X_t x_t`` with row-stochastic ``X_t``: under
+        B-connectivity the product ``X_t:1`` is ergodic, so every component
+        converges to the same value (the even balancing ``x*``), which is
+        what Proposition 1 states.
+        """
+        loads = np.asarray(initial_loads, dtype=np.float64)
+        if loads.shape != (self.num_partitions,):
+            raise ConfigurationError(
+                f"initial_loads must have shape ({self.num_partitions},)"
+            )
+        trajectory = np.empty((iterations + 1, self.num_partitions), dtype=np.float64)
+        trajectory[0] = loads
+        current = loads.copy()
+        for step in range(1, iterations + 1):
+            matrix = self.random_stochastic_matrix()
+            current = matrix @ current
+            trajectory[step] = current
+        return trajectory
+
+
+def estimate_convergence_rate(trajectory: np.ndarray) -> float:
+    """Estimate the geometric convergence rate ``mu`` from a trajectory.
+
+    Fits ``||x_t - x*||_inf ≈ q * mu^t`` by least squares on the log of the
+    distances (iterations where the distance is numerically zero are
+    ignored).  Values below 1 indicate exponential convergence.
+    """
+    trajectory = np.asarray(trajectory, dtype=np.float64)
+    target = trajectory[-1].mean()
+    distances = np.abs(trajectory - target).max(axis=1)
+    mask = distances > 1e-12
+    if mask.sum() < 2:
+        return 0.0
+    steps = np.arange(trajectory.shape[0])[mask]
+    logs = np.log(distances[mask])
+    slope, _intercept = np.polyfit(steps, logs, 1)
+    return float(np.exp(slope))

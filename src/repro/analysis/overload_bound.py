@@ -1,0 +1,69 @@
+"""Hoeffding bound on capacity violations (paper Proposition 3).
+
+During the ComputeMigrations step every candidate for partition ``l``
+migrates independently with probability ``p = r(l) / m(l)``, so the load
+arriving at ``l`` is a sum of independent bounded random variables with
+expectation ``r(l)``.  Proposition 3 bounds the probability that the new
+load exceeds the capacity by more than ``epsilon * r(l)``:
+
+``Pr[b(l) >= C + eps * r(l)] <= exp(-2 |M(l)| * (eps * r(l) / (Delta - delta))^2)``
+
+where ``delta`` and ``Delta`` are the minimum and maximum degree among the
+candidates.  :func:`empirical_overload_rate` measures the same probability
+by Monte-Carlo simulation so tests can check the bound actually holds.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def overload_probability_bound(
+    num_candidates: int,
+    epsilon: float,
+    remaining_capacity: float,
+    min_degree: float,
+    max_degree: float,
+) -> float:
+    """Right-hand side of Proposition 3.
+
+    Returns 1.0 when the bound is vacuous (no candidates, or all candidate
+    degrees equal, in which case the load is deterministic and the bound is
+    not needed).
+    """
+    if num_candidates <= 0 or epsilon <= 0 or remaining_capacity <= 0:
+        return 1.0
+    spread = max_degree - min_degree
+    if spread <= 0:
+        return 0.0 if epsilon > 0 else 1.0
+    phi = (epsilon * remaining_capacity / spread) ** 2
+    return math.exp(-2.0 * num_candidates * phi)
+
+
+def empirical_overload_rate(
+    candidate_degrees: Sequence[float],
+    remaining_capacity: float,
+    epsilon: float,
+    trials: int = 2000,
+    seed: int | None = 0,
+) -> float:
+    """Monte-Carlo estimate of the overload probability.
+
+    Simulates the ComputeMigrations step ``trials`` times: each candidate
+    migrates independently with probability
+    ``p = remaining_capacity / sum(candidate_degrees)`` and we count how
+    often the arriving load exceeds ``(1 + epsilon) * remaining_capacity``.
+    """
+    degrees = np.asarray(candidate_degrees, dtype=np.float64)
+    if degrees.size == 0 or remaining_capacity <= 0:
+        return 0.0
+    total = degrees.sum()
+    probability = min(1.0, remaining_capacity / total) if total > 0 else 1.0
+    rng = np.random.default_rng(seed)
+    draws = rng.random((trials, degrees.size))
+    arriving = (draws < probability) @ degrees
+    threshold = (1.0 + epsilon) * remaining_capacity
+    return float(np.mean(arriving >= threshold))

@@ -1,0 +1,26 @@
+"""Analytical applications used in the paper's evaluation (Section V-F).
+
+The paper measures how a Spinner partitioning speeds up three
+representative Giraph applications relative to hash partitioning:
+
+* Single-Source Shortest Paths / BFS (:mod:`repro.apps.sssp`),
+* PageRank (:mod:`repro.apps.pagerank`), and
+* Weakly Connected Components (:mod:`repro.apps.wcc`).
+
+Each is implemented as a :class:`~repro.pregel.program.VertexProgram` so it
+runs on the simulated Giraph engine; the engine's cost model then reports
+per-superstep worker times and message counts for the Table IV and
+Figure 9 reproductions.
+"""
+
+from repro.apps.degree import DegreeCount
+from repro.apps.pagerank import PageRank
+from repro.apps.sssp import ShortestPaths
+from repro.apps.wcc import WeaklyConnectedComponents
+
+__all__ = [
+    "DegreeCount",
+    "PageRank",
+    "ShortestPaths",
+    "WeaklyConnectedComponents",
+]

@@ -1,0 +1,28 @@
+"""Degree counting — the smallest useful vertex program.
+
+Used by the quickstart example and by engine tests as a minimal program
+with one message exchange.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.pregel.program import ComputeContext, VertexProgram
+from repro.pregel.vertex import Vertex
+
+
+class DegreeCount(VertexProgram):
+    """Compute each vertex's in+out degree.
+
+    Superstep 0: every vertex sends a unit message along its out-edges.
+    Superstep 1: every vertex sums its out-degree and the received units
+    (its in-degree) into its value, then halts.
+    """
+
+    def compute(self, vertex: Vertex, messages: list[Any], ctx: ComputeContext) -> None:
+        if ctx.superstep == 0:
+            ctx.send_message_to_all_neighbors(vertex, 1)
+            return
+        vertex.value = vertex.num_edges + sum(messages)
+        vertex.vote_to_halt()

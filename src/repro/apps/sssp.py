@@ -1,0 +1,49 @@
+"""Single-source shortest paths (BFS when all edges have unit weight).
+
+The "SP" application of Figure 9.  Distances propagate from the source
+vertex; every vertex keeps the smallest distance seen so far and only
+forwards improvements, so the computation converges when distances
+stabilize.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.pregel.program import ComputeContext, VertexProgram
+from repro.pregel.vertex import Vertex
+
+
+class ShortestPaths(VertexProgram):
+    """Bellman-Ford-style SSSP on the Pregel model.
+
+    Parameters
+    ----------
+    source:
+        The source vertex id.
+    use_edge_weights:
+        When ``True`` edge values are used as distances; when ``False``
+        every hop costs 1 (BFS, which is how the paper uses it).
+    """
+
+    def __init__(self, source: int, use_edge_weights: bool = False) -> None:
+        self.source = source
+        self.use_edge_weights = use_edge_weights
+
+    def compute(self, vertex: Vertex, messages: list[Any], ctx: ComputeContext) -> None:
+        if ctx.superstep == 0:
+            vertex.value = 0.0 if vertex.vertex_id == self.source else math.inf
+
+        smallest = min(messages) if messages else math.inf
+        if ctx.superstep == 0 and vertex.vertex_id == self.source:
+            smallest = 0.0
+
+        if smallest < vertex.value or (
+            ctx.superstep == 0 and vertex.vertex_id == self.source
+        ):
+            vertex.value = min(vertex.value, smallest)
+            for target, edge_value in vertex.edges.items():
+                cost = float(edge_value) if self.use_edge_weights else 1.0
+                ctx.send_message(target, vertex.value + cost)
+        vertex.vote_to_halt()

@@ -1,0 +1,31 @@
+"""Weakly connected components via label flooding.
+
+The "CC" application of Figure 9.  Every vertex starts with its own id as
+component label and repeatedly adopts the minimum label among its own and
+its neighbours'; when labels stop changing each component is identified by
+its smallest vertex id.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.pregel.program import ComputeContext, VertexProgram
+from repro.pregel.vertex import Vertex
+
+
+class WeaklyConnectedComponents(VertexProgram):
+    """Minimum-label propagation for connected components."""
+
+    def compute(self, vertex: Vertex, messages: list[Any], ctx: ComputeContext) -> None:
+        if ctx.superstep == 0:
+            vertex.value = vertex.vertex_id
+            ctx.send_message_to_all_neighbors(vertex, vertex.value)
+            vertex.vote_to_halt()
+            return
+
+        smallest = min(messages) if messages else vertex.value
+        if smallest < vertex.value:
+            vertex.value = smallest
+            ctx.send_message_to_all_neighbors(vertex, vertex.value)
+        vertex.vote_to_halt()

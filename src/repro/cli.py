@@ -1,0 +1,174 @@
+"""Command-line interface.
+
+``spinner-repro`` exposes the most common operations:
+
+* ``partition`` — partition an edge-list file (or a named dataset proxy)
+  with any registered partitioner and write the ``vertex partition``
+  assignment to a file;
+* ``compare`` — run several partitioners on the same graph and print their
+  locality / balance;
+* ``experiment`` — run one of the paper's table/figure harnesses and print
+  the rows it produces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core.config import SpinnerConfig
+from repro.experiments import (
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    table1,
+    table3,
+    table4,
+)
+from repro.experiments.common import ExperimentScale
+from repro.graph.datasets import dataset_names, load_dataset
+from repro.graph.io import read_directed_edge_list, write_partitioning
+from repro.metrics.reporting import format_table
+from repro.partitioners.registry import available_partitioners, make_partitioner
+
+_EXPERIMENTS = {
+    "table1": lambda scale: table1.run_table1(scale=scale),
+    "table3": lambda scale: table3.run_table3(scale=scale),
+    "table4": lambda scale: table4.run_table4(scale=scale),
+    "fig3": lambda scale: fig3.run_fig3(scale=scale),
+    "fig4": lambda scale: fig4.run_fig4(scale=scale),
+    "fig5": lambda scale: fig5.run_fig5(scale=scale),
+    "fig6a": lambda scale: fig6.run_fig6a(scale=scale),
+    "fig6b": lambda scale: fig6.run_fig6b(scale=scale),
+    "fig6c": lambda scale: fig6.run_fig6c(scale=scale),
+    "fig7": lambda scale: fig7.run_fig7(scale=scale),
+    "fig8": lambda scale: fig8.run_fig8(scale=scale),
+    "fig9": lambda scale: fig9.run_fig9(scale=scale),
+}
+
+
+def _load_graph(args: argparse.Namespace):
+    if args.dataset is not None:
+        return load_dataset(args.dataset, scale=args.scale)
+    if args.edge_list is not None:
+        return read_directed_edge_list(args.edge_list)
+    raise SystemExit("provide either --dataset or --edge-list")
+
+
+def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset",
+        choices=dataset_names(),
+        help="use a built-in dataset proxy instead of an edge list",
+    )
+    parser.add_argument("--edge-list", help="path to a 'source target' edge-list file")
+    parser.add_argument(
+        "--scale", type=float, default=0.25, help="dataset proxy size multiplier"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``spinner-repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="spinner-repro",
+        description="Spinner (ICDE 2017) reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    partition = subparsers.add_parser("partition", help="partition a graph")
+    _add_graph_arguments(partition)
+    partition.add_argument("-k", "--num-partitions", type=int, required=True)
+    partition.add_argument(
+        "--partitioner", default="spinner", choices=available_partitioners()
+    )
+    partition.add_argument("--seed", type=int, default=42)
+    partition.add_argument("--output", help="write 'vertex partition' pairs to this file")
+
+    compare = subparsers.add_parser("compare", help="compare partitioners on one graph")
+    _add_graph_arguments(compare)
+    compare.add_argument("-k", "--num-partitions", type=int, required=True)
+    compare.add_argument(
+        "--partitioners",
+        nargs="+",
+        default=["hash", "ldg", "fennel", "metis", "spinner"],
+        choices=available_partitioners(),
+    )
+
+    experiment = subparsers.add_parser("experiment", help="run a paper experiment")
+    experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
+    experiment.add_argument("--scale", type=float, default=0.25)
+    experiment.add_argument("--seed", type=int, default=7)
+
+    return parser
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    if args.partitioner in ("spinner", "spinner-pregel"):
+        partitioner = make_partitioner(args.partitioner, config=SpinnerConfig(seed=args.seed))
+    else:
+        partitioner = make_partitioner(args.partitioner)
+    output = partitioner.run(graph, args.num_partitions)
+    print(
+        format_table(
+            [
+                {
+                    "partitioner": output.partitioner,
+                    "k": output.num_partitions,
+                    "phi": output.phi,
+                    "rho": output.rho,
+                }
+            ],
+            title="Partitioning quality",
+        )
+    )
+    if args.output:
+        write_partitioning(output.assignment, args.output)
+        print(f"assignment written to {args.output}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    rows = []
+    for name in args.partitioners:
+        if name in ("spinner", "spinner-pregel"):
+            partitioner = make_partitioner(name, config=SpinnerConfig())
+        else:
+            partitioner = make_partitioner(name)
+        output = partitioner.run(graph, args.num_partitions)
+        rows.append(
+            {"partitioner": name, "phi": output.phi, "rho": output.rho}
+        )
+    print(format_table(rows, title=f"k={args.num_partitions}"))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    scale = ExperimentScale(graph_scale=args.scale, seed=args.seed)
+    rows = _EXPERIMENTS[args.name](scale)
+    print(format_table(rows, title=f"Experiment {args.name}"))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``spinner-repro`` command."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "partition":
+        return _cmd_partition(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,102 @@
+"""Elastic repartitioning initialization (paper Section III-E).
+
+When the number of partitions changes — machines are added to or removed
+from the cluster — Spinner adapts the existing partitioning instead of
+starting over:
+
+* **adding** ``n`` partitions: every vertex independently picks one of the
+  new partitions uniformly at random and migrates to it with probability
+  ``p = n / (k + n)`` (eq. 11), which leaves all ``k + n`` partitions with
+  the same expected load;
+* **removing** ``n`` partitions: vertices assigned to a removed partition
+  move to one of the surviving partitions chosen uniformly at random.
+
+After this randomized re-initialization the normal Spinner iterations run
+to restore locality.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.errors import InvalidPartitionCountError
+from repro.core.state import validate_labels
+
+
+def expand_assignment(
+    previous_assignment: Mapping[int, int],
+    old_num_partitions: int,
+    new_num_partitions: int,
+    seed: int | None = None,
+) -> dict[int, int]:
+    """Re-initialize labels after *adding* partitions (eq. 11).
+
+    Raises
+    ------
+    InvalidPartitionCountError
+        If ``new_num_partitions`` is not strictly larger than
+        ``old_num_partitions``.
+    """
+    if new_num_partitions <= old_num_partitions:
+        raise InvalidPartitionCountError(
+            new_num_partitions, f"must exceed the previous count {old_num_partitions}"
+        )
+    validate_labels(previous_assignment.values(), old_num_partitions)
+    rng = np.random.default_rng(seed)
+    added = new_num_partitions - old_num_partitions
+    migrate_probability = added / new_num_partitions
+    assignment: dict[int, int] = {}
+    for vertex, label in previous_assignment.items():
+        if rng.random() < migrate_probability:
+            assignment[vertex] = old_num_partitions + int(rng.integers(added))
+        else:
+            assignment[vertex] = label
+    return assignment
+
+
+def shrink_assignment(
+    previous_assignment: Mapping[int, int],
+    old_num_partitions: int,
+    new_num_partitions: int,
+    seed: int | None = None,
+) -> dict[int, int]:
+    """Re-initialize labels after *removing* partitions.
+
+    Partitions ``new_num_partitions .. old_num_partitions - 1`` disappear;
+    their vertices move to a surviving partition chosen uniformly at
+    random.  Other vertices keep their label.
+    """
+    if not 0 < new_num_partitions < old_num_partitions:
+        raise InvalidPartitionCountError(
+            new_num_partitions,
+            f"must be positive and smaller than the previous count {old_num_partitions}",
+        )
+    validate_labels(previous_assignment.values(), old_num_partitions)
+    rng = np.random.default_rng(seed)
+    assignment: dict[int, int] = {}
+    for vertex, label in previous_assignment.items():
+        if label >= new_num_partitions:
+            assignment[vertex] = int(rng.integers(new_num_partitions))
+        else:
+            assignment[vertex] = label
+    return assignment
+
+
+def resize_assignment(
+    previous_assignment: Mapping[int, int],
+    old_num_partitions: int,
+    new_num_partitions: int,
+    seed: int | None = None,
+) -> dict[int, int]:
+    """Dispatch to :func:`expand_assignment` or :func:`shrink_assignment`."""
+    if new_num_partitions == old_num_partitions:
+        return dict(previous_assignment)
+    if new_num_partitions > old_num_partitions:
+        return expand_assignment(
+            previous_assignment, old_num_partitions, new_num_partitions, seed
+        )
+    return shrink_assignment(
+        previous_assignment, old_num_partitions, new_num_partitions, seed
+    )

@@ -1,0 +1,364 @@
+"""The Spinner vertex program and master compute (paper Section IV).
+
+The algorithm is organized in the phases of Figure 2 of the paper, each
+implemented as one Pregel superstep:
+
+``NeighborPropagation`` (directed inputs only)
+    Every vertex sends its id along its outgoing edges so that incoming
+    edges can be discovered.
+``NeighborDiscovery`` (directed inputs only)
+    Every vertex processes the received ids: an already-known neighbour
+    gets edge weight 2 (reciprocal pair), an unknown one is added with
+    weight 1 — the weighted undirected conversion of eq. (3).
+``Initialize``
+    Every vertex takes its initial label (random for scratch partitioning,
+    the previous label for incremental/elastic runs — the initial labels
+    are decided by the caller and stored in the vertex value), contributes
+    its weighted degree to its partition's load aggregator and announces
+    its label to its neighbours.
+``ComputeScores`` / ``ComputeMigrations``
+    One label-propagation iteration, split in two supersteps exactly as in
+    Section IV-A2/3: the first computes the best label per vertex and
+    aggregates the candidate load ``m(l)``; the second performs the
+    probabilistic migration (eq. 14), updates the load aggregators and
+    notifies neighbours of label changes.
+
+Partition loads, candidate loads, the number of migrations and the global
+score are all maintained through aggregators, mirroring the sharded
+aggregators of the Giraph implementation (Section IV-A5).  Per-worker
+asynchronous load deltas (Section IV-A4) live in the worker's shared
+store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.config import SpinnerConfig
+from repro.core.halting import HaltingTracker
+from repro.core.scoring import choose_label, label_frequencies, migration_probability
+from repro.pregel.aggregators import (
+    AggregatorRegistry,
+    DoubleSumAggregator,
+    LongSumAggregator,
+)
+from repro.pregel.master import MasterCompute
+from repro.pregel.program import ComputeContext, VertexProgram
+from repro.pregel.vertex import Vertex
+
+# Phase names (Figure 2 of the paper).
+NEIGHBOR_PROPAGATION = "neighbor_propagation"
+NEIGHBOR_DISCOVERY = "neighbor_discovery"
+INITIALIZE = "initialize"
+COMPUTE_SCORES = "compute_scores"
+COMPUTE_MIGRATIONS = "compute_migrations"
+
+#: Worker-store key holding the per-worker asynchronous load deltas.
+WORKER_LOAD_DELTA_KEY = "spinner_load_delta"
+
+
+class SpinnerVertexValue:
+    """Mutable per-vertex Spinner state stored in ``Vertex.value``."""
+
+    __slots__ = ("label", "candidate_label", "weighted_degree")
+
+    def __init__(self, label: int) -> None:
+        self.label = label
+        self.candidate_label: int | None = None
+        self.weighted_degree: float = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"SpinnerVertexValue(label={self.label}, "
+            f"candidate={self.candidate_label}, degree={self.weighted_degree})"
+        )
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """Quality metrics of one label-propagation iteration."""
+
+    iteration: int
+    phi: float
+    rho: float
+    score: float
+    migrations: int = 0
+
+
+def load_aggregator_name(label: int) -> str:
+    """Aggregator name holding the load ``b(l)`` of a partition."""
+    return f"spinner_load_{label}"
+
+
+def candidate_aggregator_name(label: int) -> str:
+    """Aggregator name holding the candidate load ``m(l)`` of a partition."""
+    return f"spinner_candidates_{label}"
+
+
+SCORE_AGGREGATOR = "spinner_score"
+LOCAL_WEIGHT_AGGREGATOR = "spinner_local_weight"
+MIGRATIONS_AGGREGATOR = "spinner_migrations"
+
+
+class SpinnerProgram(VertexProgram):
+    """Vertex-centric implementation of Spinner.
+
+    Parameters
+    ----------
+    num_partitions:
+        The number of partitions ``k``.
+    config:
+        Algorithm parameters.
+    convert_directed:
+        Whether the NeighborPropagation/NeighborDiscovery conversion
+        supersteps run (directed input graphs only).
+    """
+
+    def __init__(
+        self,
+        num_partitions: int,
+        config: SpinnerConfig,
+        convert_directed: bool,
+    ) -> None:
+        self.num_partitions = num_partitions
+        self.config = config
+        self.convert_directed = convert_directed
+        self._rng = np.random.default_rng(config.seed)
+        self._phase_offset = 2 if convert_directed else 0
+
+    # ------------------------------------------------------------------
+    # phase bookkeeping
+    # ------------------------------------------------------------------
+    def phase(self, superstep: int) -> str:
+        """Map a superstep index to the algorithm phase it implements."""
+        if self.convert_directed:
+            if superstep == 0:
+                return NEIGHBOR_PROPAGATION
+            if superstep == 1:
+                return NEIGHBOR_DISCOVERY
+        if superstep == self._phase_offset:
+            return INITIALIZE
+        relative = superstep - self._phase_offset - 1
+        return COMPUTE_SCORES if relative % 2 == 0 else COMPUTE_MIGRATIONS
+
+    def iteration_of(self, superstep: int) -> int:
+        """Label-propagation iteration index a superstep belongs to."""
+        relative = superstep - self._phase_offset - 1
+        return max(relative // 2, 0)
+
+    def superstep_bound(self) -> int:
+        """Safe upper bound on supersteps for ``config.max_iterations``."""
+        return self._phase_offset + 2 + 2 * (self.config.max_iterations + 1)
+
+    # ------------------------------------------------------------------
+    # aggregators
+    # ------------------------------------------------------------------
+    def register_aggregators(self, aggregators: AggregatorRegistry) -> None:
+        for label in range(self.num_partitions):
+            aggregators.register(load_aggregator_name(label), DoubleSumAggregator())
+            aggregators.register(candidate_aggregator_name(label), DoubleSumAggregator())
+        aggregators.register(SCORE_AGGREGATOR, DoubleSumAggregator())
+        aggregators.register(LOCAL_WEIGHT_AGGREGATOR, DoubleSumAggregator())
+        aggregators.register(MIGRATIONS_AGGREGATOR, LongSumAggregator())
+
+    def pre_superstep(
+        self,
+        superstep: int,
+        worker_store: dict[str, Any],
+        aggregators: AggregatorRegistry,
+    ) -> None:
+        # Reset the per-worker asynchronous load deltas at the start of each
+        # superstep; they only carry information within one superstep.
+        worker_store[WORKER_LOAD_DELTA_KEY] = {}
+
+    # ------------------------------------------------------------------
+    # compute
+    # ------------------------------------------------------------------
+    def compute(self, vertex: Vertex, messages: list[Any], ctx: ComputeContext) -> None:
+        phase = self.phase(ctx.superstep)
+        if phase == NEIGHBOR_PROPAGATION:
+            self._neighbor_propagation(vertex, ctx)
+        elif phase == NEIGHBOR_DISCOVERY:
+            self._neighbor_discovery(vertex, messages)
+        elif phase == INITIALIZE:
+            self._initialize(vertex, ctx)
+        elif phase == COMPUTE_SCORES:
+            self._compute_scores(vertex, messages, ctx)
+        else:
+            self._compute_migrations(vertex, ctx)
+
+    # -- conversion ----------------------------------------------------
+    def _neighbor_propagation(self, vertex: Vertex, ctx: ComputeContext) -> None:
+        # Normalize edge values to [weight, neighbour_label] and announce
+        # this vertex to all out-neighbours.
+        for target in list(vertex.edges):
+            vertex.edges[target] = [1, None]
+            ctx.send_message(target, vertex.vertex_id)
+
+    def _neighbor_discovery(self, vertex: Vertex, messages: list[Any]) -> None:
+        for sender in messages:
+            edge = vertex.edges.get(sender)
+            if edge is not None:
+                edge[0] = 2
+            else:
+                vertex.edges[sender] = [1, None]
+
+    # -- initialization ------------------------------------------------
+    def _initialize(self, vertex: Vertex, ctx: ComputeContext) -> None:
+        value: SpinnerVertexValue = vertex.value
+        value.weighted_degree = float(sum(edge[0] for edge in vertex.edges.values()))
+        ctx.aggregate(load_aggregator_name(value.label), value.weighted_degree)
+        for target in vertex.edges:
+            ctx.send_message(target, (vertex.vertex_id, value.label))
+
+    # -- iteration: scores ----------------------------------------------
+    def _partition_loads(self, ctx: ComputeContext) -> np.ndarray:
+        loads = np.array(
+            [
+                ctx.aggregated_value(load_aggregator_name(label))
+                for label in range(self.num_partitions)
+            ],
+            dtype=np.float64,
+        )
+        return loads
+
+    def _compute_scores(
+        self, vertex: Vertex, messages: list[Any], ctx: ComputeContext
+    ) -> None:
+        value: SpinnerVertexValue = vertex.value
+        # (i) update neighbour labels from migration / initialization messages
+        for sender, new_label in messages:
+            edge = vertex.edges.get(sender)
+            if edge is not None:
+                edge[1] = new_label
+
+        degree = value.weighted_degree
+        ctx.aggregate(load_aggregator_name(value.label), degree)
+
+        # (ii) label frequencies across the neighbourhood
+        frequencies = label_frequencies(
+            [(edge[1], edge[0]) for edge in vertex.edges.values()]
+        )
+
+        # (iii) loads from the previous superstep, optionally adjusted by the
+        # per-worker asynchronous deltas of candidates evaluated earlier in
+        # this superstep on the same worker (Section IV-A4).
+        loads = self._partition_loads(ctx)
+        total_load = float(loads.sum())
+        capacity = self.config.capacity(total_load, self.num_partitions) if total_load else 1.0
+        if self.config.worker_local_updates:
+            delta: dict[int, float] = ctx.worker_store.get(WORKER_LOAD_DELTA_KEY, {})
+            if delta:
+                loads = loads.copy()
+                for label, change in delta.items():
+                    loads[label] += change
+
+        best_label, _best_score, current_score = choose_label(
+            value.label, frequencies, degree, loads, capacity, self.config
+        )
+
+        ctx.aggregate(SCORE_AGGREGATOR, current_score)
+        ctx.aggregate(LOCAL_WEIGHT_AGGREGATOR, frequencies.get(value.label, 0.0))
+
+        # (iv) flag as migration candidate
+        if best_label != value.label:
+            value.candidate_label = best_label
+            ctx.aggregate(candidate_aggregator_name(best_label), degree)
+            if self.config.worker_local_updates:
+                delta = ctx.worker_store.setdefault(WORKER_LOAD_DELTA_KEY, {})
+                delta[best_label] = delta.get(best_label, 0.0) + degree
+                delta[value.label] = delta.get(value.label, 0.0) - degree
+        else:
+            value.candidate_label = None
+
+    # -- iteration: migrations -------------------------------------------
+    def _compute_migrations(self, vertex: Vertex, ctx: ComputeContext) -> None:
+        value: SpinnerVertexValue = vertex.value
+        degree = value.weighted_degree
+        if value.candidate_label is not None:
+            target_label = value.candidate_label
+            loads = self._partition_loads(ctx)
+            total_load = float(loads.sum())
+            capacity = (
+                self.config.capacity(total_load, self.num_partitions) if total_load else 1.0
+            )
+            remaining = capacity - float(loads[target_label])
+            candidate_load = float(
+                ctx.aggregated_value(candidate_aggregator_name(target_label))
+            )
+            if self.config.probabilistic_migration:
+                probability = migration_probability(remaining, candidate_load)
+            else:
+                probability = 1.0
+            if self._rng.random() < probability:
+                value.label = target_label
+                ctx.aggregate(MIGRATIONS_AGGREGATOR, 1)
+                for target in vertex.edges:
+                    ctx.send_message(target, (vertex.vertex_id, value.label))
+            value.candidate_label = None
+        ctx.aggregate(load_aggregator_name(value.label), degree)
+
+
+class SpinnerMasterCompute(MasterCompute):
+    """Master compute implementing the halting heuristic (Section III-C).
+
+    The master runs before every superstep; right after a ComputeScores
+    superstep it observes the freshly aggregated global score, partition
+    loads and local edge weight, records an :class:`IterationRecord` and
+    halts the computation once the score has been steady for ``w``
+    iterations (or ``max_iterations`` is reached).
+    """
+
+    def __init__(self, program: SpinnerProgram) -> None:
+        super().__init__()
+        self.program = program
+        self.config = program.config
+        self.tracker = HaltingTracker(
+            threshold=self.config.halt_threshold, window=self.config.halt_window
+        )
+        self.history: list[IterationRecord] = []
+        self._pending_migrations = 0
+
+    def compute(self, superstep: int, aggregators: AggregatorRegistry) -> None:
+        if superstep == 0:
+            return
+        previous_phase = self.program.phase(superstep - 1)
+        if previous_phase == COMPUTE_MIGRATIONS:
+            self._pending_migrations = int(aggregators.value(MIGRATIONS_AGGREGATOR))
+            return
+        if previous_phase != COMPUTE_SCORES:
+            return
+
+        iteration = self.program.iteration_of(superstep - 1)
+        loads = np.array(
+            [
+                aggregators.value(load_aggregator_name(label))
+                for label in range(self.program.num_partitions)
+            ],
+            dtype=np.float64,
+        )
+        total_load = float(loads.sum())
+        score = float(aggregators.value(SCORE_AGGREGATOR))
+        local_weight = float(aggregators.value(LOCAL_WEIGHT_AGGREGATOR))
+        phi = local_weight / total_load if total_load else 1.0
+        ideal = total_load / self.program.num_partitions if total_load else 1.0
+        rho = float(loads.max() / ideal) if ideal else 1.0
+        self.history.append(
+            IterationRecord(
+                iteration=iteration,
+                phi=phi,
+                rho=rho,
+                score=score,
+                migrations=self._pending_migrations,
+            )
+        )
+        self._pending_migrations = 0
+
+        if iteration + 1 >= self.config.max_iterations:
+            self.halt_computation()
+            return
+        if self.tracker.update(score):
+            self.halt_computation()

@@ -1,0 +1,36 @@
+"""Experiment harnesses — one module per table/figure of the paper.
+
+Every module exposes a ``run_*`` function that executes the experiment at a
+configurable (scaled-down) size and returns plain row dictionaries, plus
+the benchmarks in ``benchmarks/`` that execute them under pytest-benchmark
+and print the same rows the paper reports.
+
+| Paper artifact | Module |
+|----------------|--------|
+| Table I        | :mod:`repro.experiments.table1` |
+| Table III      | :mod:`repro.experiments.table3` |
+| Table IV       | :mod:`repro.experiments.table4` |
+| Figure 3       | :mod:`repro.experiments.fig3` |
+| Figure 4       | :mod:`repro.experiments.fig4` |
+| Figure 5       | :mod:`repro.experiments.fig5` |
+| Figure 6       | :mod:`repro.experiments.fig6` |
+| Figure 7       | :mod:`repro.experiments.fig7` |
+| Figure 8       | :mod:`repro.experiments.fig8` |
+| Figure 9       | :mod:`repro.experiments.fig9` |
+"""
+
+__all__ = [
+    "common",
+    "table1",
+    "table3",
+    "table4",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "giraph",
+    "ablations",
+]

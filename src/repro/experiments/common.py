@@ -1,0 +1,43 @@
+"""Shared helpers for the experiment harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import SpinnerConfig
+from repro.graph.conversion import ensure_undirected
+from repro.graph.datasets import load_dataset
+from repro.graph.undirected import UndirectedGraph
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Size knobs for an experiment run.
+
+    ``graph_scale`` multiplies the dataset-proxy sizes; ``quick`` presets
+    are used by the test suite, ``default`` by the benchmark harness.
+    """
+
+    graph_scale: float = 0.2
+    seed: int = 7
+
+    @classmethod
+    def quick(cls) -> "ExperimentScale":
+        """Tiny sizes for the integration tests."""
+        return cls(graph_scale=0.05, seed=7)
+
+    @classmethod
+    def default(cls) -> "ExperimentScale":
+        """Benchmark sizes (seconds per experiment, not hours)."""
+        return cls(graph_scale=0.25, seed=7)
+
+
+def spinner_config(seed: int = 7, **overrides) -> SpinnerConfig:
+    """The paper's default Spinner parameters with a fixed seed."""
+    return SpinnerConfig(seed=seed, **overrides)
+
+
+def undirected_dataset(name: str, scale: ExperimentScale) -> UndirectedGraph:
+    """Load a dataset proxy and return its weighted undirected view."""
+    graph = load_dataset(name, scale=scale.graph_scale)
+    return ensure_undirected(graph)

@@ -1,0 +1,173 @@
+"""Compressed sparse row (CSR) view of a weighted undirected graph.
+
+The vectorized Spinner implementation (:mod:`repro.core.fast`) and several
+baseline partitioners operate on flat NumPy arrays rather than Python
+dictionaries.  :class:`CSRGraph` stores, for a graph with ``n`` vertices
+and ``m`` undirected edges:
+
+``indptr``
+    ``int64[n + 1]`` — the adjacency list of vertex ``v`` occupies
+    ``indices[indptr[v]:indptr[v + 1]]``.
+``indices``
+    ``int64[2 m]`` — neighbour ids (each undirected edge appears twice).
+``weights``
+    ``int64[2 m]`` — edge weights aligned with ``indices``.
+
+Vertex ids are densified to ``0 .. n - 1``; the mapping back to the
+original ids is kept in ``original_ids``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.undirected import UndirectedGraph
+
+
+class CSRGraph:
+    """Immutable CSR representation of a weighted undirected graph."""
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray,
+        original_ids: np.ndarray | None = None,
+    ) -> None:
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.weights = np.asarray(weights, dtype=np.int64)
+        if self.indptr.ndim != 1 or self.indptr[0] != 0:
+            raise GraphError("indptr must be 1-D and start at 0")
+        if self.indptr[-1] != self.indices.shape[0]:
+            raise GraphError("indptr[-1] must equal len(indices)")
+        if self.indices.shape != self.weights.shape:
+            raise GraphError("indices and weights must have the same shape")
+        self.num_vertices = self.indptr.shape[0] - 1
+        if original_ids is None:
+            original_ids = np.arange(self.num_vertices, dtype=np.int64)
+        self.original_ids = np.asarray(original_ids, dtype=np.int64)
+        if self.original_ids.shape[0] != self.num_vertices:
+            raise GraphError("original_ids must have one entry per vertex")
+        # Weighted degree per vertex: the balance quantity of the paper.
+        sources = np.repeat(
+            np.arange(self.num_vertices, dtype=np.int64), np.diff(self.indptr)
+        )
+        self.weighted_degrees = np.bincount(
+            sources, weights=self.weights.astype(np.float64), minlength=self.num_vertices
+        ).astype(np.int64)
+        # total_weight counts each undirected edge's weight once.
+        self.total_weight = int(self.weights.sum() // 2)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return self.indices.shape[0] // 2
+
+    def neighbors(self, vertex: int) -> np.ndarray:
+        """Return the neighbour ids of a (dense) vertex id."""
+        return self.indices[self.indptr[vertex] : self.indptr[vertex + 1]]
+
+    def neighbor_weights(self, vertex: int) -> np.ndarray:
+        """Return the edge weights aligned with :meth:`neighbors`."""
+        return self.weights[self.indptr[vertex] : self.indptr[vertex + 1]]
+
+    def degree(self, vertex: int) -> int:
+        """Return the unweighted degree of a dense vertex id."""
+        return int(self.indptr[vertex + 1] - self.indptr[vertex])
+
+    def weighted_degree(self, vertex: int) -> int:
+        """Return the weighted degree of a dense vertex id."""
+        return int(self.weighted_degrees[vertex])
+
+    def edge_array(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(sources, targets, weights)`` arrays with both directions.
+
+        Every undirected edge appears twice, once per direction, which is the
+        layout the vectorized label-propagation kernel needs.
+        """
+        sources = np.repeat(np.arange(self.num_vertices, dtype=np.int64), np.diff(self.indptr))
+        return sources, self.indices, self.weights
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_undirected(cls, graph: UndirectedGraph) -> "CSRGraph":
+        """Build a CSR view from an :class:`UndirectedGraph`.
+
+        Vertex ids are densified in sorted order of the original ids.
+        """
+        original_ids = np.array(sorted(graph.vertices()), dtype=np.int64)
+        dense_of = {int(original): dense for dense, original in enumerate(original_ids)}
+        n = original_ids.shape[0]
+        degrees = np.zeros(n, dtype=np.int64)
+        for original in original_ids:
+            degrees[dense_of[int(original)]] = graph.degree(int(original))
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        indices = np.zeros(indptr[-1], dtype=np.int64)
+        weights = np.zeros(indptr[-1], dtype=np.int64)
+        cursor = indptr[:-1].copy()
+        for original in original_ids:
+            u = dense_of[int(original)]
+            for neighbour, weight in graph.neighbors(int(original)).items():
+                position = cursor[u]
+                indices[position] = dense_of[neighbour]
+                weights[position] = weight
+                cursor[u] += 1
+        return cls(indptr, indices, weights, original_ids)
+
+    @classmethod
+    def from_edge_list(
+        cls,
+        edges: Sequence[tuple[int, int]] | np.ndarray,
+        num_vertices: int,
+        weights: Sequence[int] | np.ndarray | None = None,
+    ) -> "CSRGraph":
+        """Build a CSR view directly from an undirected edge list.
+
+        ``edges`` holds each undirected edge once; both directions are
+        materialized internally.  Duplicate edges are the caller's
+        responsibility (they are kept as parallel edges).
+        """
+        edge_array = np.asarray(edges, dtype=np.int64)
+        if edge_array.size == 0:
+            edge_array = edge_array.reshape(0, 2)
+        if edge_array.ndim != 2 or edge_array.shape[1] != 2:
+            raise GraphError("edges must be an (m, 2) array")
+        if weights is None:
+            weight_array = np.ones(edge_array.shape[0], dtype=np.int64)
+        else:
+            weight_array = np.asarray(weights, dtype=np.int64)
+            if weight_array.shape[0] != edge_array.shape[0]:
+                raise GraphError("weights must align with edges")
+        sources = np.concatenate([edge_array[:, 0], edge_array[:, 1]])
+        targets = np.concatenate([edge_array[:, 1], edge_array[:, 0]])
+        both_weights = np.concatenate([weight_array, weight_array])
+        order = np.argsort(sources, kind="stable")
+        sources = sources[order]
+        targets = targets[order]
+        both_weights = both_weights[order]
+        counts = np.bincount(sources, minlength=num_vertices)
+        indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, targets, both_weights)
+
+    def to_undirected(self) -> UndirectedGraph:
+        """Materialize back into an :class:`UndirectedGraph` (original ids)."""
+        graph = UndirectedGraph()
+        for dense in range(self.num_vertices):
+            graph.add_vertex(int(self.original_ids[dense]))
+        sources, targets, weights = self.edge_array()
+        for u, v, w in zip(sources, targets, weights):
+            if u < v:
+                graph.add_edge(
+                    int(self.original_ids[u]), int(self.original_ids[v]), weight=int(w)
+                )
+        return graph
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"CSRGraph(|V|={self.num_vertices}, |E|={self.num_edges})"

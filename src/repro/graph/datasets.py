@@ -1,0 +1,191 @@
+"""Scaled-down structural proxies for the paper's real-world datasets.
+
+Table II of the paper lists six graphs (LiveJournal, Tuenti, Google+,
+Twitter, Friendster, Yahoo! web) with 4.8M–1.4B vertices.  Those datasets
+are either proprietary or far too large for this environment, so — per the
+substitution rule documented in ``DESIGN.md`` — each is replaced by a
+synthetic graph that preserves the structural properties the evaluation
+depends on:
+
+* directed vs. undirected (Table II's "Directed" column),
+* heavy-tailed degree distribution with hubs (Twitter, Friendster),
+* community structure / clustering (LiveJournal, Tuenti, Google+), and
+* sparse, shallow, web-like structure (Yahoo!).
+
+Every proxy accepts a ``scale`` multiplier so tests can run on tiny graphs
+while benchmarks use larger ones.  The default sizes (scale 1.0) are a few
+thousand vertices — large enough for the quality trends to be visible,
+small enough for a pure-Python evaluation to finish quickly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    barabasi_albert,
+    powerlaw_cluster,
+    to_directed_reciprocal,
+    watts_strogatz,
+)
+from repro.graph.undirected import UndirectedGraph
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Descriptor of a dataset proxy.
+
+    Attributes
+    ----------
+    name:
+        Short name used throughout the paper (``"LJ"``, ``"TW"``, ...).
+    full_name:
+        Human-readable name.
+    directed:
+        Whether the original dataset is directed (Table II).
+    base_vertices:
+        Number of vertices at ``scale = 1.0``.
+    description:
+        What the proxy mimics and which generator builds it.
+    """
+
+    name: str
+    full_name: str
+    directed: bool
+    base_vertices: int
+    description: str
+
+
+#: Registry of dataset proxies keyed by the short name used in the paper.
+DATASET_SPECS: dict[str, DatasetSpec] = {
+    "LJ": DatasetSpec(
+        name="LJ",
+        full_name="LiveJournal (proxy)",
+        directed=True,
+        base_vertices=4000,
+        description="power-law cluster graph with moderate reciprocity",
+    ),
+    "TU": DatasetSpec(
+        name="TU",
+        full_name="Tuenti (proxy)",
+        directed=False,
+        base_vertices=5000,
+        description="undirected social graph with high clustering",
+    ),
+    "G+": DatasetSpec(
+        name="G+",
+        full_name="Google+ (proxy)",
+        directed=True,
+        base_vertices=4500,
+        description="directed follower graph with low reciprocity",
+    ),
+    "TW": DatasetSpec(
+        name="TW",
+        full_name="Twitter (proxy)",
+        directed=True,
+        base_vertices=5000,
+        description="preferential-attachment graph with pronounced hubs",
+    ),
+    "FR": DatasetSpec(
+        name="FR",
+        full_name="Friendster (proxy)",
+        directed=False,
+        base_vertices=6000,
+        description="large undirected social graph, weaker clustering",
+    ),
+    "Y!": DatasetSpec(
+        name="Y!",
+        full_name="Yahoo! web (proxy)",
+        directed=True,
+        base_vertices=8000,
+        description="sparse small-world web graph with low average degree",
+    ),
+}
+
+
+def _scaled(base: int, scale: float) -> int:
+    return max(64, int(round(base * scale)))
+
+
+def livejournal_proxy(scale: float = 1.0, seed: int = 1) -> DiGraph:
+    """LiveJournal proxy: clustered power-law graph, ~50% reciprocal edges."""
+    n = _scaled(DATASET_SPECS["LJ"].base_vertices, scale)
+    skeleton = powerlaw_cluster(n, edges_per_vertex=7, triangle_probability=0.5, seed=seed)
+    return to_directed_reciprocal(skeleton, reciprocity=0.5, seed=seed + 1)
+
+
+def tuenti_proxy(scale: float = 1.0, seed: int = 2) -> UndirectedGraph:
+    """Tuenti proxy: undirected, highly clustered social graph."""
+    n = _scaled(DATASET_SPECS["TU"].base_vertices, scale)
+    return powerlaw_cluster(n, edges_per_vertex=10, triangle_probability=0.7, seed=seed)
+
+
+def googleplus_proxy(scale: float = 1.0, seed: int = 3) -> DiGraph:
+    """Google+ proxy: directed follower graph with low reciprocity."""
+    n = _scaled(DATASET_SPECS["G+"].base_vertices, scale)
+    skeleton = powerlaw_cluster(n, edges_per_vertex=8, triangle_probability=0.4, seed=seed)
+    return to_directed_reciprocal(skeleton, reciprocity=0.25, seed=seed + 1)
+
+
+def twitter_proxy(scale: float = 1.0, seed: int = 4) -> DiGraph:
+    """Twitter proxy: hub-dominated preferential-attachment follower graph."""
+    n = _scaled(DATASET_SPECS["TW"].base_vertices, scale)
+    skeleton = barabasi_albert(n, edges_per_vertex=12, seed=seed)
+    assert isinstance(skeleton, UndirectedGraph)
+    return to_directed_reciprocal(skeleton, reciprocity=0.2, seed=seed + 1)
+
+
+def friendster_proxy(scale: float = 1.0, seed: int = 5) -> UndirectedGraph:
+    """Friendster proxy: large undirected graph with weaker clustering."""
+    n = _scaled(DATASET_SPECS["FR"].base_vertices, scale)
+    return powerlaw_cluster(n, edges_per_vertex=9, triangle_probability=0.3, seed=seed)
+
+
+def yahoo_proxy(scale: float = 1.0, seed: int = 6) -> DiGraph:
+    """Yahoo! web proxy: sparse small-world graph with low average degree."""
+    n = _scaled(DATASET_SPECS["Y!"].base_vertices, scale)
+    skeleton = watts_strogatz(n, degree=6, beta=0.2, seed=seed)
+    return to_directed_reciprocal(skeleton, reciprocity=0.1, seed=seed + 1)
+
+
+_LOADERS = {
+    "LJ": livejournal_proxy,
+    "TU": tuenti_proxy,
+    "G+": googleplus_proxy,
+    "TW": twitter_proxy,
+    "FR": friendster_proxy,
+    "Y!": yahoo_proxy,
+}
+
+
+def load_dataset(name: str, scale: float = 1.0, seed: int | None = None):
+    """Load a dataset proxy by its paper short name.
+
+    Parameters
+    ----------
+    name:
+        One of ``"LJ"``, ``"TU"``, ``"G+"``, ``"TW"``, ``"FR"``, ``"Y!"``.
+    scale:
+        Size multiplier relative to the default proxy size.
+    seed:
+        Optional seed override; each dataset has a stable default seed.
+
+    Returns
+    -------
+    DiGraph | UndirectedGraph
+        Directed or undirected graph matching Table II's directedness.
+    """
+    try:
+        loader = _LOADERS[name]
+    except KeyError:
+        known = ", ".join(sorted(_LOADERS))
+        raise KeyError(f"unknown dataset {name!r}; known datasets: {known}") from None
+    if seed is None:
+        return loader(scale=scale)
+    return loader(scale=scale, seed=seed)
+
+
+def dataset_names() -> list[str]:
+    """Return the dataset short names in the order used by the paper."""
+    return ["LJ", "TU", "G+", "TW", "FR", "Y!"]

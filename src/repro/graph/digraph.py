@@ -1,0 +1,153 @@
+"""Adjacency-list directed graph.
+
+This mirrors the data model of Pregel/Giraph: every vertex knows its
+outgoing edges but not its incoming ones.  Vertex identifiers are
+non-negative integers; parallel edges are collapsed, self-loops are
+allowed but ignored by the partitioners (they never cross a cut).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import GraphError, VertexNotFoundError
+
+
+class DiGraph:
+    """A directed graph stored as out-adjacency sets.
+
+    The class intentionally exposes a small, explicit API: vertices are
+    created lazily by :meth:`add_edge` or explicitly by :meth:`add_vertex`,
+    and traversal is done through :meth:`vertices`, :meth:`edges` and
+    :meth:`successors`.
+
+    Examples
+    --------
+    >>> g = DiGraph()
+    >>> g.add_edge(0, 1)
+    >>> g.add_edge(1, 0)
+    >>> g.add_edge(1, 2)
+    >>> sorted(g.successors(1))
+    [0, 2]
+    >>> g.num_vertices, g.num_edges
+    (3, 3)
+    """
+
+    def __init__(self) -> None:
+        self._succ: dict[int, set[int]] = {}
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_vertex(self, vertex_id: int) -> None:
+        """Add an isolated vertex; a no-op if it already exists."""
+        if vertex_id < 0:
+            raise GraphError(f"vertex ids must be non-negative, got {vertex_id}")
+        self._succ.setdefault(vertex_id, set())
+
+    def add_edge(self, source: int, target: int) -> bool:
+        """Add a directed edge, creating endpoints as needed.
+
+        Returns ``True`` if the edge was new and ``False`` if it already
+        existed (parallel edges are collapsed).
+        """
+        self.add_vertex(source)
+        self.add_vertex(target)
+        out = self._succ[source]
+        if target in out:
+            return False
+        out.add(target)
+        self._num_edges += 1
+        return True
+
+    def add_edges(self, edges: Iterable[tuple[int, int]]) -> int:
+        """Add many edges at once; returns the number of new edges."""
+        added = 0
+        for source, target in edges:
+            if self.add_edge(source, target):
+                added += 1
+        return added
+
+    def remove_edge(self, source: int, target: int) -> bool:
+        """Remove a directed edge if present; returns whether it existed."""
+        out = self._succ.get(source)
+        if out is None or target not in out:
+            return False
+        out.remove(target)
+        self._num_edges -= 1
+        return True
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices currently in the graph."""
+        return len(self._succ)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges currently in the graph."""
+        return self._num_edges
+
+    def __contains__(self, vertex_id: int) -> bool:
+        return vertex_id in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def has_edge(self, source: int, target: int) -> bool:
+        """Return whether the directed edge ``source -> target`` exists."""
+        out = self._succ.get(source)
+        return out is not None and target in out
+
+    def vertices(self) -> Iterator[int]:
+        """Iterate over vertex ids."""
+        return iter(self._succ)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over directed edges as ``(source, target)`` pairs."""
+        for source, targets in self._succ.items():
+            for target in targets:
+                yield source, target
+
+    def successors(self, vertex_id: int) -> set[int]:
+        """Return the set of out-neighbours of ``vertex_id``."""
+        try:
+            return self._succ[vertex_id]
+        except KeyError:
+            raise VertexNotFoundError(vertex_id) from None
+
+    def out_degree(self, vertex_id: int) -> int:
+        """Return the out-degree of ``vertex_id``."""
+        return len(self.successors(vertex_id))
+
+    def copy(self) -> "DiGraph":
+        """Return a deep copy of the graph."""
+        clone = DiGraph()
+        clone._succ = {v: set(targets) for v, targets in self._succ.items()}
+        clone._num_edges = self._num_edges
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"DiGraph(|V|={self.num_vertices}, |E|={self.num_edges})"
+
+    # ------------------------------------------------------------------
+    # convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls, edges: Iterable[tuple[int, int]], num_vertices: int | None = None
+    ) -> "DiGraph":
+        """Build a graph from an iterable of ``(source, target)`` pairs.
+
+        If ``num_vertices`` is given, vertices ``0 .. num_vertices - 1`` are
+        created even when isolated, so the vertex set is deterministic.
+        """
+        graph = cls()
+        if num_vertices is not None:
+            for vertex_id in range(num_vertices):
+                graph.add_vertex(vertex_id)
+        graph.add_edges(edges)
+        return graph

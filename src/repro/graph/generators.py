@@ -1,0 +1,241 @@
+"""Synthetic graph generators.
+
+The Spinner evaluation uses Watts–Strogatz small-world graphs for the
+scalability study (Section V-B) and real social/web graphs elsewhere.
+This module implements the generators needed to reproduce the synthetic
+workloads and to build scaled-down structural proxies of the real
+datasets (see :mod:`repro.graph.datasets`):
+
+* :func:`watts_strogatz` — ring lattice with random rewiring.
+* :func:`barabasi_albert` — preferential attachment (power-law degrees,
+  hubs — the "Twitter-like" structure).
+* :func:`erdos_renyi` — uniform random graph.
+* :func:`powerlaw_cluster` — preferential attachment with triad closure
+  (power-law degrees plus clustering — the "social-network-like"
+  structure).
+* :func:`ring_lattice` — the deterministic skeleton used by
+  :func:`watts_strogatz`.
+
+All generators take an explicit ``seed`` and are deterministic for a given
+seed, which the experiment harness relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+from repro.graph.undirected import UndirectedGraph
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def ring_lattice(num_vertices: int, degree: int) -> UndirectedGraph:
+    """Return a ring lattice where each vertex connects to ``degree`` nearest
+    neighbours (``degree // 2`` on each side).
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices; must be larger than ``degree``.
+    degree:
+        Even number of neighbours per vertex.
+    """
+    if degree % 2 != 0:
+        raise GraphError("ring lattice degree must be even")
+    if num_vertices <= degree:
+        raise GraphError("num_vertices must exceed degree")
+    graph = UndirectedGraph()
+    for v in range(num_vertices):
+        graph.add_vertex(v)
+    half = degree // 2
+    for v in range(num_vertices):
+        for offset in range(1, half + 1):
+            graph.add_edge(v, (v + offset) % num_vertices)
+    return graph
+
+
+def watts_strogatz(
+    num_vertices: int,
+    degree: int,
+    beta: float,
+    seed: int | np.random.Generator | None = None,
+) -> UndirectedGraph:
+    """Watts–Strogatz small-world graph.
+
+    Starts from :func:`ring_lattice` and rewires each edge's far endpoint
+    with probability ``beta``, matching the construction used for the
+    scalability experiments of the paper (degree 40, ``beta = 0.3``).
+    """
+    if not 0.0 <= beta <= 1.0:
+        raise GraphError("beta must lie in [0, 1]")
+    rng = _rng(seed)
+    graph = ring_lattice(num_vertices, degree)
+    half = degree // 2
+    for v in range(num_vertices):
+        for offset in range(1, half + 1):
+            if rng.random() >= beta:
+                continue
+            old_target = (v + offset) % num_vertices
+            if not graph.has_edge(v, old_target):
+                continue
+            # Draw a new endpoint that is neither v nor an existing neighbour.
+            for _ in range(16):
+                candidate = int(rng.integers(num_vertices))
+                if candidate != v and not graph.has_edge(v, candidate):
+                    graph.remove_edge(v, old_target)
+                    graph.add_edge(v, candidate)
+                    break
+    return graph
+
+
+def erdos_renyi(
+    num_vertices: int,
+    num_edges: int,
+    seed: int | np.random.Generator | None = None,
+) -> UndirectedGraph:
+    """Uniform random graph with (approximately) ``num_edges`` distinct edges."""
+    rng = _rng(seed)
+    graph = UndirectedGraph()
+    for v in range(num_vertices):
+        graph.add_vertex(v)
+    added = 0
+    attempts = 0
+    max_attempts = num_edges * 20 + 100
+    while added < num_edges and attempts < max_attempts:
+        attempts += 1
+        u = int(rng.integers(num_vertices))
+        v = int(rng.integers(num_vertices))
+        if u == v:
+            continue
+        if graph.add_edge(u, v):
+            added += 1
+    return graph
+
+
+def barabasi_albert(
+    num_vertices: int,
+    edges_per_vertex: int,
+    seed: int | np.random.Generator | None = None,
+    directed: bool = False,
+) -> UndirectedGraph | DiGraph:
+    """Barabási–Albert preferential attachment graph.
+
+    Each new vertex attaches to ``edges_per_vertex`` existing vertices with
+    probability proportional to their degree, producing a power-law degree
+    distribution with pronounced hubs (the structure the paper highlights
+    for the Twitter graph).
+
+    When ``directed`` is ``True`` the attachment edges point from the new
+    vertex to the chosen targets, which mimics "follower" style graphs.
+    """
+    if num_vertices <= edges_per_vertex:
+        raise GraphError("num_vertices must exceed edges_per_vertex")
+    rng = _rng(seed)
+    # Repeated-nodes list implements preferential attachment in O(1) per draw.
+    repeated: list[int] = []
+    undirected_edges: list[tuple[int, int]] = []
+    initial = edges_per_vertex
+    for v in range(initial):
+        repeated.append(v)
+    for v in range(initial, num_vertices):
+        targets: set[int] = set()
+        while len(targets) < edges_per_vertex:
+            if repeated and rng.random() < 0.9:
+                candidate = repeated[int(rng.integers(len(repeated)))]
+            else:
+                candidate = int(rng.integers(v))
+            if candidate != v:
+                targets.add(candidate)
+        for target in targets:
+            undirected_edges.append((v, target))
+            repeated.append(v)
+            repeated.append(target)
+    if directed:
+        digraph = DiGraph.from_edges(undirected_edges, num_vertices=num_vertices)
+        return digraph
+    return UndirectedGraph.from_edges(undirected_edges, num_vertices=num_vertices)
+
+
+def powerlaw_cluster(
+    num_vertices: int,
+    edges_per_vertex: int,
+    triangle_probability: float,
+    seed: int | np.random.Generator | None = None,
+) -> UndirectedGraph:
+    """Holme–Kim power-law graph with tunable clustering.
+
+    Like :func:`barabasi_albert` but, after each preferential attachment
+    step, a triad-closure step adds an edge to a random neighbour of the
+    previous target with probability ``triangle_probability``.  The result
+    has both a heavy-tailed degree distribution and the high clustering
+    typical of social graphs, which is what makes the social-network
+    proxies partitionable with good locality.
+    """
+    if not 0.0 <= triangle_probability <= 1.0:
+        raise GraphError("triangle_probability must lie in [0, 1]")
+    rng = _rng(seed)
+    graph = UndirectedGraph()
+    for v in range(num_vertices):
+        graph.add_vertex(v)
+    repeated: list[int] = list(range(edges_per_vertex))
+    for v in range(edges_per_vertex, num_vertices):
+        previous_target: int | None = None
+        added = 0
+        guard = 0
+        while added < edges_per_vertex and guard < edges_per_vertex * 20:
+            guard += 1
+            close_triangle = (
+                previous_target is not None
+                and rng.random() < triangle_probability
+                and graph.degree(previous_target) > 0
+            )
+            if close_triangle:
+                neighbours = list(graph.neighbors(previous_target))
+                candidate = neighbours[int(rng.integers(len(neighbours)))]
+            elif repeated:
+                candidate = repeated[int(rng.integers(len(repeated)))]
+            else:
+                candidate = int(rng.integers(v))
+            if candidate == v or graph.has_edge(v, candidate):
+                continue
+            graph.add_edge(v, candidate)
+            repeated.append(v)
+            repeated.append(candidate)
+            previous_target = candidate
+            added += 1
+    return graph
+
+
+def to_directed_reciprocal(
+    graph: UndirectedGraph,
+    reciprocity: float,
+    seed: int | np.random.Generator | None = None,
+) -> DiGraph:
+    """Orient an undirected graph, making a fraction of edges reciprocal.
+
+    Each undirected edge becomes either a single directed edge (random
+    direction) or a reciprocal pair with probability ``reciprocity``.  This
+    is how the directed dataset proxies (Twitter, Google+, LiveJournal,
+    Yahoo!) are produced from the structural generators.
+    """
+    if not 0.0 <= reciprocity <= 1.0:
+        raise GraphError("reciprocity must lie in [0, 1]")
+    rng = _rng(seed)
+    digraph = DiGraph()
+    for v in graph.vertices():
+        digraph.add_vertex(v)
+    for u, v, _weight in graph.edges():
+        if rng.random() < reciprocity:
+            digraph.add_edge(u, v)
+            digraph.add_edge(v, u)
+        elif rng.random() < 0.5:
+            digraph.add_edge(u, v)
+        else:
+            digraph.add_edge(v, u)
+    return digraph

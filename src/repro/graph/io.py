@@ -1,0 +1,117 @@
+"""Graph and partitioning I/O.
+
+Spinner's Giraph implementation reads edge-list inputs from HDFS and
+writes the partitioning as ``(vertex id, label)`` pairs.  This module
+implements the equivalent plain-file formats:
+
+* *edge list*: one ``source target`` (optionally ``source target weight``)
+  pair per line, ``#`` comments allowed;
+* *partitioning file*: one ``vertex_id partition`` pair per line.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable, Mapping
+
+from repro.errors import GraphFormatError
+from repro.graph.digraph import DiGraph
+from repro.graph.undirected import UndirectedGraph
+
+
+def _parse_edge_line(line: str, line_number: int) -> tuple[int, int, int] | None:
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    parts = stripped.split()
+    if len(parts) not in (2, 3):
+        raise GraphFormatError(
+            f"line {line_number}: expected 2 or 3 fields, got {len(parts)}"
+        )
+    try:
+        source = int(parts[0])
+        target = int(parts[1])
+        weight = int(parts[2]) if len(parts) == 3 else 1
+    except ValueError as exc:
+        raise GraphFormatError(f"line {line_number}: non-integer field") from exc
+    return source, target, weight
+
+
+def read_directed_edge_list(path: str | os.PathLike) -> DiGraph:
+    """Read a directed graph from an edge-list file."""
+    graph = DiGraph()
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            parsed = _parse_edge_line(line, line_number)
+            if parsed is None:
+                continue
+            source, target, _weight = parsed
+            graph.add_edge(source, target)
+    return graph
+
+
+def read_undirected_edge_list(path: str | os.PathLike) -> UndirectedGraph:
+    """Read a weighted undirected graph from an edge-list file."""
+    graph = UndirectedGraph()
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            parsed = _parse_edge_line(line, line_number)
+            if parsed is None:
+                continue
+            u, v, weight = parsed
+            if u == v:
+                continue
+            if not graph.has_edge(u, v):
+                graph.add_edge(u, v, weight=weight)
+    return graph
+
+
+def write_directed_edge_list(graph: DiGraph, path: str | os.PathLike) -> None:
+    """Write a directed graph as a ``source target`` edge list."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("# directed edge list: source target\n")
+        for source, target in graph.edges():
+            handle.write(f"{source} {target}\n")
+
+
+def write_undirected_edge_list(graph: UndirectedGraph, path: str | os.PathLike) -> None:
+    """Write an undirected graph as a ``u v weight`` edge list."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("# undirected edge list: u v weight\n")
+        for u, v, weight in graph.edges():
+            handle.write(f"{u} {v} {weight}\n")
+
+
+def write_partitioning(
+    assignment: Mapping[int, int], path: str | os.PathLike
+) -> None:
+    """Write a ``vertex_id partition`` file, sorted by vertex id."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("# partitioning: vertex_id partition\n")
+        for vertex_id in sorted(assignment):
+            handle.write(f"{vertex_id} {assignment[vertex_id]}\n")
+
+
+def read_partitioning(path: str | os.PathLike) -> dict[int, int]:
+    """Read a partitioning file written by :func:`write_partitioning`."""
+    assignment: dict[int, int] = {}
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split()
+            if len(parts) != 2:
+                raise GraphFormatError(
+                    f"line {line_number}: expected 2 fields, got {len(parts)}"
+                )
+            try:
+                assignment[int(parts[0])] = int(parts[1])
+            except ValueError as exc:
+                raise GraphFormatError(f"line {line_number}: non-integer field") from exc
+    return assignment
+
+
+def edges_to_lines(edges: Iterable[tuple[int, int]]) -> list[str]:
+    """Render edges as edge-list lines (useful in tests)."""
+    return [f"{source} {target}" for source, target in edges]

@@ -1,0 +1,108 @@
+"""Descriptive statistics for graphs.
+
+Used by tests (to check that the dataset proxies actually have the claimed
+structure — hubs, clustering, sparsity) and by the experiment harness when
+reporting workload characteristics alongside results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.graph.undirected import UndirectedGraph
+
+
+@dataclass(frozen=True)
+class DegreeStats:
+    """Summary of a graph's degree distribution."""
+
+    minimum: int
+    maximum: int
+    mean: float
+    median: float
+    p99: float
+
+    @property
+    def hub_ratio(self) -> float:
+        """Ratio of the maximum degree to the mean degree.
+
+        A large value indicates hub-dominated (power-law-like) structure,
+        the property the paper calls out for the Twitter graph.
+        """
+        if self.mean == 0:
+            return 0.0
+        return self.maximum / self.mean
+
+
+def degree_sequence(graph: UndirectedGraph | DiGraph) -> np.ndarray:
+    """Return the degree (out-degree for directed graphs) of every vertex."""
+    if isinstance(graph, DiGraph):
+        return np.array([graph.out_degree(v) for v in graph.vertices()], dtype=np.int64)
+    return np.array([graph.degree(v) for v in graph.vertices()], dtype=np.int64)
+
+
+def degree_stats(graph: UndirectedGraph | DiGraph) -> DegreeStats:
+    """Compute :class:`DegreeStats` for a graph."""
+    degrees = degree_sequence(graph)
+    if degrees.size == 0:
+        return DegreeStats(0, 0, 0.0, 0.0, 0.0)
+    return DegreeStats(
+        minimum=int(degrees.min()),
+        maximum=int(degrees.max()),
+        mean=float(degrees.mean()),
+        median=float(np.median(degrees)),
+        p99=float(np.percentile(degrees, 99)),
+    )
+
+
+def average_clustering(
+    graph: UndirectedGraph, sample_size: int = 500, seed: int | None = 0
+) -> float:
+    """Estimate the average local clustering coefficient.
+
+    For graphs with more than ``sample_size`` vertices a uniform sample of
+    vertices is used; the estimate is deterministic for a fixed seed.
+    """
+    rng = np.random.default_rng(seed)
+    vertices = list(graph.vertices())
+    if not vertices:
+        return 0.0
+    if len(vertices) > sample_size:
+        picked = rng.choice(len(vertices), size=sample_size, replace=False)
+        vertices = [vertices[i] for i in picked]
+    total = 0.0
+    counted = 0
+    for v in vertices:
+        neighbours = list(graph.neighbors(v))
+        k = len(neighbours)
+        if k < 2:
+            continue
+        links = 0
+        for i in range(k):
+            for j in range(i + 1, k):
+                if graph.has_edge(neighbours[i], neighbours[j]):
+                    links += 1
+        total += 2.0 * links / (k * (k - 1))
+        counted += 1
+    if counted == 0:
+        return 0.0
+    return total / counted
+
+
+def density(graph: UndirectedGraph) -> float:
+    """Return the edge density ``2|E| / (|V| (|V| - 1))``."""
+    n = graph.num_vertices
+    if n < 2:
+        return 0.0
+    return 2.0 * graph.num_edges / (n * (n - 1))
+
+
+def reciprocity(graph: DiGraph) -> float:
+    """Fraction of directed edges whose reverse edge also exists."""
+    if graph.num_edges == 0:
+        return 0.0
+    reciprocal = sum(1 for u, v in graph.edges() if graph.has_edge(v, u))
+    return reciprocal / graph.num_edges

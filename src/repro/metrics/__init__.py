@@ -1,0 +1,34 @@
+"""Partitioning quality metrics.
+
+The paper evaluates partitionings with two headline metrics (Section V-A):
+
+* ``phi`` — the *ratio of local edges*: the fraction of edges whose two
+  endpoints live in the same partition (weighted by the directed-edge
+  multiplicity when the graph came from a directed input);
+* ``rho`` — the *maximum normalized load*: the load of the most loaded
+  partition divided by the ideal (perfectly balanced) load.
+
+It also uses the aggregate score ``score(G)`` (eq. 10) to drive halting and
+the *partitioning difference* to quantify stability across repartitionings
+(Section V-D).
+"""
+
+from repro.metrics.quality import (
+    cut_edges,
+    global_score,
+    locality,
+    max_normalized_load,
+    partition_loads,
+    quality_summary,
+)
+from repro.metrics.stability import partitioning_difference
+
+__all__ = [
+    "cut_edges",
+    "global_score",
+    "locality",
+    "max_normalized_load",
+    "partition_loads",
+    "partitioning_difference",
+    "quality_summary",
+]

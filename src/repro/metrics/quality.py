@@ -1,0 +1,217 @@
+"""Locality, balance and score metrics (paper Section V, eq. 16).
+
+All functions accept either an :class:`~repro.graph.undirected.UndirectedGraph`
+with a ``{vertex: label}`` mapping, or a :class:`~repro.graph.csr.CSRGraph`
+with a NumPy label array (dense vertex ids).  Labels must lie in
+``[0, num_partitions)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidPartitionCountError, PartitioningError
+from repro.graph.csr import CSRGraph
+from repro.graph.undirected import UndirectedGraph
+
+
+def _check_k(num_partitions: int) -> None:
+    if num_partitions <= 0:
+        raise InvalidPartitionCountError(num_partitions, "must be positive")
+
+
+def _labels_array(graph: CSRGraph, labels: np.ndarray) -> np.ndarray:
+    arr = np.asarray(labels, dtype=np.int64)
+    if arr.shape[0] != graph.num_vertices:
+        raise PartitioningError(
+            f"label array has {arr.shape[0]} entries for {graph.num_vertices} vertices"
+        )
+    return arr
+
+
+# ----------------------------------------------------------------------
+# locality (phi)
+# ----------------------------------------------------------------------
+def locality(
+    graph: UndirectedGraph | CSRGraph,
+    assignment: Mapping[int, int] | np.ndarray,
+) -> float:
+    """Ratio of local edge weight: ``phi`` in the paper (eq. 16, left).
+
+    Edge weights are taken into account so that, for graphs converted from
+    a directed input, ``phi`` equals the fraction of *directed* edges whose
+    endpoints are co-located — exactly the fraction of messages that stay
+    local in a Pregel computation.
+    """
+    if isinstance(graph, CSRGraph):
+        labels = _labels_array(graph, assignment)  # type: ignore[arg-type]
+        sources, targets, weights = graph.edge_array()
+        if weights.sum() == 0:
+            return 1.0
+        local = weights[labels[sources] == labels[targets]].sum()
+        return float(local / weights.sum())
+    total = 0
+    local = 0
+    for u, v, weight in graph.edges():
+        total += weight
+        if assignment[u] == assignment[v]:  # type: ignore[index]
+            local += weight
+    if total == 0:
+        return 1.0
+    return local / total
+
+
+def cut_edges(
+    graph: UndirectedGraph | CSRGraph,
+    assignment: Mapping[int, int] | np.ndarray,
+) -> int:
+    """Number of undirected edges whose endpoints lie in different partitions."""
+    if isinstance(graph, CSRGraph):
+        labels = _labels_array(graph, assignment)  # type: ignore[arg-type]
+        sources, targets, _weights = graph.edge_array()
+        crossing = labels[sources] != labels[targets]
+        # Each undirected edge appears twice in the edge array.
+        return int(crossing.sum() // 2)
+    return sum(
+        1 for u, v, _w in graph.edges() if assignment[u] != assignment[v]  # type: ignore[index]
+    )
+
+
+# ----------------------------------------------------------------------
+# balance (rho)
+# ----------------------------------------------------------------------
+def partition_loads(
+    graph: UndirectedGraph | CSRGraph,
+    assignment: Mapping[int, int] | np.ndarray,
+    num_partitions: int,
+) -> np.ndarray:
+    """Load ``b(l)`` of every partition (eq. 6).
+
+    The load of a partition is the sum of the weighted degrees of its
+    vertices, i.e. the number of messages its vertices exchange per
+    superstep — the quantity Spinner balances.
+    """
+    _check_k(num_partitions)
+    loads = np.zeros(num_partitions, dtype=np.float64)
+    if isinstance(graph, CSRGraph):
+        labels = _labels_array(graph, assignment)  # type: ignore[arg-type]
+        if labels.size and (labels.min() < 0 or labels.max() >= num_partitions):
+            raise PartitioningError("labels outside [0, num_partitions)")
+        np.add.at(loads, labels, graph.weighted_degrees.astype(np.float64))
+        return loads
+    for vertex, label in assignment.items():  # type: ignore[union-attr]
+        if not 0 <= label < num_partitions:
+            raise PartitioningError(f"label {label} outside [0, {num_partitions})")
+        loads[label] += graph.weighted_degree(vertex)
+    return loads
+
+
+def max_normalized_load(
+    graph: UndirectedGraph | CSRGraph,
+    assignment: Mapping[int, int] | np.ndarray,
+    num_partitions: int,
+) -> float:
+    """Maximum normalized load ``rho`` (eq. 16, right).
+
+    ``rho = 1.0`` means perfect balance; ``rho = 1.05`` means the most
+    loaded partition holds 5% more than the ideal share.
+    """
+    loads = partition_loads(graph, assignment, num_partitions)
+    total = loads.sum()
+    if total == 0:
+        return 1.0
+    ideal = total / num_partitions
+    return float(loads.max() / ideal)
+
+
+# ----------------------------------------------------------------------
+# global score (eq. 10)
+# ----------------------------------------------------------------------
+def global_score(
+    graph: UndirectedGraph | CSRGraph,
+    assignment: Mapping[int, int] | np.ndarray,
+    num_partitions: int,
+    additional_capacity: float = 1.05,
+) -> float:
+    """Aggregate partitioning score ``score(G)`` (eq. 10).
+
+    Each vertex contributes its normalized locality score minus the penalty
+    of its current partition (eq. 8).  The experiment harness tracks this
+    value per iteration to reproduce Figure 4.
+    """
+    _check_k(num_partitions)
+    loads = partition_loads(graph, assignment, num_partitions)
+    total_load = loads.sum()
+    if total_load == 0:
+        return 0.0
+    capacity = additional_capacity * total_load / num_partitions
+    penalties = loads / capacity
+
+    if isinstance(graph, CSRGraph):
+        labels = _labels_array(graph, assignment)  # type: ignore[arg-type]
+        sources, targets, weights = graph.edge_array()
+        degrees = graph.weighted_degrees.astype(np.float64)
+        safe_degrees = np.where(degrees > 0, degrees, 1.0)
+        local_weight = np.zeros(graph.num_vertices, dtype=np.float64)
+        same = labels[sources] == labels[targets]
+        np.add.at(local_weight, sources[same], weights[same].astype(np.float64))
+        per_vertex = local_weight / safe_degrees - penalties[labels]
+        return float(per_vertex.sum())
+
+    score = 0.0
+    for vertex in graph.vertices():
+        label = assignment[vertex]  # type: ignore[index]
+        degree = graph.weighted_degree(vertex)
+        if degree == 0:
+            score -= penalties[label]
+            continue
+        local = sum(
+            weight
+            for neighbour, weight in graph.neighbors(vertex).items()
+            if assignment[neighbour] == label  # type: ignore[index]
+        )
+        score += local / degree - penalties[label]
+    return score
+
+
+# ----------------------------------------------------------------------
+# summary
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class QualitySummary:
+    """Bundle of the headline quality metrics for one partitioning."""
+
+    num_partitions: int
+    phi: float
+    rho: float
+    cut_edges: int
+    score: float
+
+    def as_row(self) -> dict[str, float | int]:
+        """Render as a flat dictionary (used by the reporting helpers)."""
+        return {
+            "k": self.num_partitions,
+            "phi": round(self.phi, 4),
+            "rho": round(self.rho, 4),
+            "cut_edges": self.cut_edges,
+            "score": round(self.score, 2),
+        }
+
+
+def quality_summary(
+    graph: UndirectedGraph | CSRGraph,
+    assignment: Mapping[int, int] | np.ndarray,
+    num_partitions: int,
+    additional_capacity: float = 1.05,
+) -> QualitySummary:
+    """Compute :class:`QualitySummary` for a partitioning."""
+    return QualitySummary(
+        num_partitions=num_partitions,
+        phi=locality(graph, assignment),
+        rho=max_normalized_load(graph, assignment, num_partitions),
+        cut_edges=cut_edges(graph, assignment),
+        score=global_score(graph, assignment, num_partitions, additional_capacity),
+    )

@@ -1,0 +1,80 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness prints, for every reproduced table and figure, rows
+that mirror the paper's presentation.  This module keeps that formatting in
+one place so the benchmarks stay focused on the experiment logic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a list of row dictionaries as an aligned text table.
+
+    Parameters
+    ----------
+    rows:
+        The rows; missing keys render as an empty cell.
+    columns:
+        Column order; defaults to the keys of the first row.
+    title:
+        Optional title printed above the table.
+    float_format:
+        Format spec applied to float cells.
+    """
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: Any) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        if value is None:
+            return ""
+        return str(value)
+
+    rendered = [[render(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * widths[i] for i in range(len(columns))))
+    for r in rendered:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_series(
+    xs: Sequence[Any],
+    ys: Sequence[Any],
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str | None = None,
+) -> str:
+    """Render paired series (the textual equivalent of a figure's curve)."""
+    rows = [{x_label: x, y_label: y} for x, y in zip(xs, ys)]
+    return format_table(rows, columns=[x_label, y_label], title=title)
+
+
+def improvement_percentage(baseline: float, improved: float) -> float:
+    """Relative improvement of ``improved`` over ``baseline`` in percent.
+
+    Positive values mean ``improved`` is smaller (faster / cheaper) than the
+    baseline, matching how the paper reports runtime improvements.
+    """
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (baseline - improved) / baseline

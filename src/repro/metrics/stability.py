@@ -1,0 +1,62 @@
+"""Partitioning stability metrics (paper Section V-D).
+
+The *partitioning difference* between two partitionings is the fraction of
+vertices whose label differs — the fraction of vertices a graph management
+system would have to shuffle across machines when adopting the new
+partitioning.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.errors import PartitioningError
+
+
+def partitioning_difference(
+    before: Mapping[int, int] | np.ndarray,
+    after: Mapping[int, int] | np.ndarray,
+) -> float:
+    """Fraction of vertices assigned to different partitions in ``after``.
+
+    Both partitionings must cover the same vertex set (array inputs must
+    have the same length).  Vertices present only in ``after`` (e.g. newly
+    added vertices) are ignored, since they had no previous location to
+    move from.
+    """
+    if isinstance(before, np.ndarray) or isinstance(after, np.ndarray):
+        before_arr = np.asarray(before)
+        after_arr = np.asarray(after)
+        if before_arr.shape != after_arr.shape:
+            raise PartitioningError("label arrays must have the same shape")
+        if before_arr.size == 0:
+            return 0.0
+        return float(np.mean(before_arr != after_arr))
+
+    common = [vertex for vertex in before if vertex in after]
+    if not common:
+        return 0.0
+    moved = sum(1 for vertex in common if before[vertex] != after[vertex])
+    return moved / len(common)
+
+
+def migration_volume(
+    before: Mapping[int, int],
+    after: Mapping[int, int],
+    weights: Mapping[int, int] | None = None,
+) -> float:
+    """Total weight of vertices that change partition.
+
+    With ``weights`` (for example the vertex degrees, or serialized state
+    sizes) this measures the amount of data the graph management system
+    must move; without weights it degenerates to a vertex count.
+    """
+    volume = 0.0
+    for vertex, old_label in before.items():
+        new_label = after.get(vertex)
+        if new_label is None or new_label == old_label:
+            continue
+        volume += 1.0 if weights is None else float(weights.get(vertex, 1))
+    return volume

@@ -1,0 +1,64 @@
+"""Common interface for all partitioners.
+
+A partitioner maps every vertex of a graph to one of ``k`` partitions.
+The interface is intentionally minimal so the comparison harness (Table I)
+can treat Spinner, the streaming baselines and the multilevel baseline
+uniformly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.errors import InvalidPartitionCountError
+from repro.graph.conversion import ensure_undirected
+from repro.graph.digraph import DiGraph
+from repro.graph.undirected import UndirectedGraph
+from repro.metrics.quality import locality, max_normalized_load
+
+
+@dataclass
+class PartitioningOutput:
+    """Assignment plus the metadata a comparison needs."""
+
+    assignment: dict[int, int]
+    num_partitions: int
+    partitioner: str
+    phi: float = 0.0
+    rho: float = 1.0
+    metadata: dict = field(default_factory=dict)
+
+
+class Partitioner:
+    """Base class for partitioners.
+
+    Subclasses set :attr:`name` and implement :meth:`partition`, returning
+    a ``{vertex: partition}`` mapping with labels in
+    ``[0, num_partitions)``.  :meth:`run` wraps :meth:`partition` and
+    attaches the quality metrics used throughout the evaluation.
+    """
+
+    name = "base"
+
+    def partition(
+        self, graph: UndirectedGraph | DiGraph, num_partitions: int
+    ) -> Mapping[int, int]:
+        """Compute the assignment (must be overridden)."""
+        raise NotImplementedError
+
+    def run(
+        self, graph: UndirectedGraph | DiGraph, num_partitions: int
+    ) -> PartitioningOutput:
+        """Partition ``graph`` and report locality and balance."""
+        if num_partitions <= 0:
+            raise InvalidPartitionCountError(num_partitions, "must be positive")
+        assignment = dict(self.partition(graph, num_partitions))
+        undirected = ensure_undirected(graph)
+        return PartitioningOutput(
+            assignment=assignment,
+            num_partitions=num_partitions,
+            partitioner=self.name,
+            phi=locality(undirected, assignment),
+            rho=max_normalized_load(undirected, assignment, num_partitions),
+        )

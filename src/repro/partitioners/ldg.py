@@ -1,0 +1,108 @@
+"""Linear Deterministic Greedy streaming partitioner (Stanton & Kliot).
+
+The "Stanton et al." row of Table I.  Vertices arrive one at a time
+together with their adjacency list; each is immediately and permanently
+assigned to the partition
+
+``argmax_i |N(v) ∩ P_i| * (1 - |P_i| / C)``
+
+where ``C = n / k`` is the per-partition vertex capacity.  The linear
+penalty keeps partitions balanced in vertex count while the intersection
+term favours locality.  Ties break towards the currently smallest
+partition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.conversion import ensure_undirected
+from repro.graph.digraph import DiGraph
+from repro.graph.undirected import UndirectedGraph
+from repro.partitioners.base import Partitioner
+
+
+class LinearDeterministicGreedy(Partitioner):
+    """One-pass streaming partitioner with a linear balance penalty.
+
+    Parameters
+    ----------
+    capacity_slack:
+        Multiplier on the ideal per-partition vertex count used as the
+        capacity ``C``; 1.0 reproduces the original formulation.
+    stream_order:
+        ``"natural"`` streams vertices in id order, ``"random"`` shuffles
+        them (with ``seed``), ``"bfs"`` approximates a crawl order.
+    seed:
+        Seed for the random stream order.
+    """
+
+    name = "ldg"
+
+    def __init__(
+        self,
+        capacity_slack: float = 1.0,
+        stream_order: str = "random",
+        seed: int | None = 0,
+    ) -> None:
+        if stream_order not in ("natural", "random", "bfs"):
+            raise ValueError(f"unknown stream order {stream_order!r}")
+        self.capacity_slack = capacity_slack
+        self.stream_order = stream_order
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def _stream(self, graph: UndirectedGraph) -> list[int]:
+        vertices = list(graph.vertices())
+        if self.stream_order == "natural":
+            return sorted(vertices)
+        rng = np.random.default_rng(self.seed)
+        if self.stream_order == "random":
+            rng.shuffle(vertices)
+            return vertices
+        # BFS order from a random root, covering all components.
+        order: list[int] = []
+        visited: set[int] = set()
+        rng.shuffle(vertices)
+        for root in vertices:
+            if root in visited:
+                continue
+            queue = [root]
+            visited.add(root)
+            while queue:
+                current = queue.pop(0)
+                order.append(current)
+                for neighbour in graph.neighbors(current):
+                    if neighbour not in visited:
+                        visited.add(neighbour)
+                        queue.append(neighbour)
+        return order
+
+    # ------------------------------------------------------------------
+    def partition(
+        self, graph: UndirectedGraph | DiGraph, num_partitions: int
+    ) -> dict[int, int]:
+        undirected = ensure_undirected(graph)
+        n = undirected.num_vertices
+        if n == 0:
+            return {}
+        capacity = self.capacity_slack * n / num_partitions
+        sizes = np.zeros(num_partitions, dtype=np.float64)
+        assignment: dict[int, int] = {}
+
+        for vertex in self._stream(undirected):
+            neighbour_counts = np.zeros(num_partitions, dtype=np.float64)
+            for neighbour, weight in undirected.neighbors(vertex).items():
+                label = assignment.get(neighbour)
+                if label is not None:
+                    neighbour_counts[label] += weight
+            penalties = 1.0 - sizes / capacity
+            scores = neighbour_counts * np.clip(penalties, 0.0, None)
+            best = int(np.argmax(scores))
+            if scores[best] <= 0.0:
+                # No placed neighbours (or every preferred partition full):
+                # fall back to the least loaded partition.
+                best = int(np.argmin(sizes))
+            assignment[vertex] = best
+            sizes[best] += 1.0
+        return assignment

@@ -1,0 +1,287 @@
+"""A multilevel k-way partitioner in the spirit of METIS.
+
+The paper compares Spinner against METIS (Karypis & Kumar), the offline
+"golden standard": excellent locality and balance at the cost of a global
+view of the graph.  Since the real METIS is a C library outside this
+environment, this module implements the same three-phase multilevel
+scheme from scratch:
+
+1. **Coarsening** — repeatedly contract a heavy-edge matching until the
+   graph is small (vertex weights accumulate, parallel edges merge their
+   weights), preserving the structure that matters for cuts;
+2. **Initial partitioning** — greedy region growing on the coarsest graph:
+   ``k`` balanced regions are grown around spread-out seeds, picking at
+   each step the frontier vertex with the strongest connection to the
+   region;
+3. **Uncoarsening with refinement** — the assignment is projected back
+   level by level and improved with a boundary Kernighan–Lin/FM pass that
+   moves border vertices to the neighbouring partition with the highest
+   gain whenever the balance constraint allows it.
+
+The result behaves like the paper's METIS column: slightly better locality
+than Spinner with very tight balance, at a much higher (and inherently
+centralized) computational cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.conversion import ensure_undirected
+from repro.graph.digraph import DiGraph
+from repro.graph.undirected import UndirectedGraph
+from repro.partitioners.base import Partitioner
+
+
+@dataclass
+class _Level:
+    """One level of the coarsening hierarchy."""
+
+    graph: UndirectedGraph
+    vertex_weight: dict[int, float]
+    # Mapping of each vertex of this level to its parent (coarser) vertex.
+    parent: dict[int, int] | None = None
+
+
+class MetisLikePartitioner(Partitioner):
+    """Multilevel partitioner: coarsen, partition, refine.
+
+    Parameters
+    ----------
+    balance_tolerance:
+        Allowed imbalance of the vertex-weight (edge-load) balance, e.g.
+        1.03 allows partitions 3% above the ideal share — METIS' default
+        ballpark and the balance the paper reports for it.
+    coarsest_size:
+        Coarsening stops once the graph has at most
+        ``max(coarsest_size, 4 * k)`` vertices.
+    refinement_passes:
+        Number of boundary refinement sweeps per level.
+    seed:
+        Seed for the matching and seeding randomness.
+    """
+
+    name = "metis-like"
+
+    def __init__(
+        self,
+        balance_tolerance: float = 1.03,
+        coarsest_size: int = 128,
+        refinement_passes: int = 4,
+        seed: int | None = 0,
+    ) -> None:
+        if balance_tolerance < 1.0:
+            raise ValueError("balance_tolerance must be at least 1")
+        self.balance_tolerance = balance_tolerance
+        self.coarsest_size = coarsest_size
+        self.refinement_passes = refinement_passes
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # public entry point
+    # ------------------------------------------------------------------
+    def partition(
+        self, graph: UndirectedGraph | DiGraph, num_partitions: int
+    ) -> dict[int, int]:
+        undirected = ensure_undirected(graph)
+        if undirected.num_vertices == 0:
+            return {}
+        rng = np.random.default_rng(self.seed)
+        # Vertex weight = weighted degree, so balance matches the paper's
+        # edge-based load definition.
+        base_weights = {
+            v: float(max(undirected.weighted_degree(v), 1)) for v in undirected.vertices()
+        }
+        levels = self._coarsen(undirected, base_weights, num_partitions, rng)
+        coarsest = levels[-1]
+        assignment = self._initial_partition(coarsest, num_partitions, rng)
+        assignment = self._refine(coarsest, assignment, num_partitions)
+        # Project back through the hierarchy, refining at each level.
+        for level_index in range(len(levels) - 2, -1, -1):
+            finer = levels[level_index]
+            assert finer.parent is not None
+            assignment = {
+                vertex: assignment[finer.parent[vertex]] for vertex in finer.graph.vertices()
+            }
+            assignment = self._refine(finer, assignment, num_partitions)
+        return assignment
+
+    # ------------------------------------------------------------------
+    # phase 1: coarsening
+    # ------------------------------------------------------------------
+    def _coarsen(
+        self,
+        graph: UndirectedGraph,
+        vertex_weight: dict[int, float],
+        num_partitions: int,
+        rng: np.random.Generator,
+    ) -> list[_Level]:
+        levels = [_Level(graph=graph, vertex_weight=vertex_weight)]
+        target = max(self.coarsest_size, 4 * num_partitions)
+        while levels[-1].graph.num_vertices > target:
+            current = levels[-1]
+            matching = self._heavy_edge_matching(current, rng)
+            coarse, coarse_weights, parent = self._contract(current, matching)
+            if coarse.num_vertices >= current.graph.num_vertices:
+                break  # no progress; stop coarsening
+            current.parent = parent
+            levels.append(_Level(graph=coarse, vertex_weight=coarse_weights))
+        return levels
+
+    def _heavy_edge_matching(
+        self, level: _Level, rng: np.random.Generator
+    ) -> dict[int, int]:
+        """Match each unmatched vertex with its heaviest unmatched neighbour."""
+        graph = level.graph
+        vertices = list(graph.vertices())
+        rng.shuffle(vertices)
+        matched: dict[int, int] = {}
+        for vertex in vertices:
+            if vertex in matched:
+                continue
+            best_neighbour = None
+            best_weight = -1.0
+            for neighbour, weight in graph.neighbors(vertex).items():
+                if neighbour in matched or neighbour == vertex:
+                    continue
+                if weight > best_weight:
+                    best_weight = weight
+                    best_neighbour = neighbour
+            if best_neighbour is None:
+                matched[vertex] = vertex
+            else:
+                matched[vertex] = best_neighbour
+                matched[best_neighbour] = vertex
+        return matched
+
+    def _contract(
+        self, level: _Level, matching: dict[int, int]
+    ) -> tuple[UndirectedGraph, dict[int, float], dict[int, int]]:
+        graph = level.graph
+        parent: dict[int, int] = {}
+        coarse_weights: dict[int, float] = {}
+        next_id = 0
+        for vertex in graph.vertices():
+            if vertex in parent:
+                continue
+            partner = matching.get(vertex, vertex)
+            parent[vertex] = next_id
+            weight = level.vertex_weight[vertex]
+            if partner != vertex and partner not in parent:
+                parent[partner] = next_id
+                weight += level.vertex_weight[partner]
+            coarse_weights[next_id] = weight
+            next_id += 1
+        coarse = UndirectedGraph()
+        for coarse_id in range(next_id):
+            coarse.add_vertex(coarse_id)
+        edge_weights: dict[tuple[int, int], int] = {}
+        for u, v, weight in graph.edges():
+            cu, cv = parent[u], parent[v]
+            if cu == cv:
+                continue
+            key = (cu, cv) if cu < cv else (cv, cu)
+            edge_weights[key] = edge_weights.get(key, 0) + weight
+        for (cu, cv), weight in edge_weights.items():
+            coarse.add_edge(cu, cv, weight=weight)
+        return coarse, coarse_weights, parent
+
+    # ------------------------------------------------------------------
+    # phase 2: initial partitioning (greedy region growing)
+    # ------------------------------------------------------------------
+    def _initial_partition(
+        self, level: _Level, num_partitions: int, rng: np.random.Generator
+    ) -> dict[int, int]:
+        graph = level.graph
+        weights = level.vertex_weight
+        vertices = list(graph.vertices())
+        total_weight = sum(weights[v] for v in vertices)
+        target = total_weight / num_partitions
+
+        assignment: dict[int, int] = {}
+        loads = np.zeros(num_partitions, dtype=np.float64)
+        # Seeds: high-degree vertices spread over the graph.
+        seeds = sorted(vertices, key=lambda v: -graph.degree(v))
+        seed_iter = iter(seeds)
+
+        for label in range(num_partitions):
+            seed = next((s for s in seed_iter if s not in assignment), None)
+            if seed is None:
+                break
+            frontier = {seed}
+            while frontier and loads[label] < target:
+                # Pick the frontier vertex with the strongest connection to
+                # the growing region.
+                best_vertex = None
+                best_connection = -1.0
+                for candidate in frontier:
+                    connection = sum(
+                        w
+                        for nbr, w in graph.neighbors(candidate).items()
+                        if assignment.get(nbr) == label
+                    )
+                    if connection > best_connection:
+                        best_connection = connection
+                        best_vertex = candidate
+                assert best_vertex is not None
+                frontier.discard(best_vertex)
+                if best_vertex in assignment:
+                    continue
+                assignment[best_vertex] = label
+                loads[label] += weights[best_vertex]
+                for neighbour in graph.neighbors(best_vertex):
+                    if neighbour not in assignment:
+                        frontier.add(neighbour)
+        # Any vertex not reached by region growing goes to the lightest part.
+        for vertex in vertices:
+            if vertex not in assignment:
+                label = int(np.argmin(loads))
+                assignment[vertex] = label
+                loads[label] += weights[vertex]
+        return assignment
+
+    # ------------------------------------------------------------------
+    # phase 3: boundary refinement
+    # ------------------------------------------------------------------
+    def _refine(
+        self,
+        level: _Level,
+        assignment: dict[int, int],
+        num_partitions: int,
+    ) -> dict[int, int]:
+        graph = level.graph
+        weights = level.vertex_weight
+        loads = np.zeros(num_partitions, dtype=np.float64)
+        for vertex, label in assignment.items():
+            loads[label] += weights[vertex]
+        total = loads.sum()
+        max_load = self.balance_tolerance * total / num_partitions
+
+        for _ in range(self.refinement_passes):
+            moved = 0
+            for vertex in graph.vertices():
+                current = assignment[vertex]
+                connection = np.zeros(num_partitions, dtype=np.float64)
+                for neighbour, weight in graph.neighbors(vertex).items():
+                    connection[assignment[neighbour]] += weight
+                best_label = current
+                best_gain = 0.0
+                for label in range(num_partitions):
+                    if label == current:
+                        continue
+                    if loads[label] + weights[vertex] > max_load:
+                        continue
+                    gain = connection[label] - connection[current]
+                    if gain > best_gain:
+                        best_gain = gain
+                        best_label = label
+                if best_label != current:
+                    assignment[vertex] = best_label
+                    loads[current] -= weights[vertex]
+                    loads[best_label] += weights[vertex]
+                    moved += 1
+            if moved == 0:
+                break
+        return assignment

@@ -1,0 +1,31 @@
+"""Uniformly random partitioning.
+
+Functionally close to hash partitioning (structure-oblivious) but with an
+explicit seed; used as the initial state of Spinner and as the "random"
+baseline of Table IV.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.graph.undirected import UndirectedGraph
+from repro.partitioners.base import Partitioner
+
+
+class RandomPartitioner(Partitioner):
+    """Assign every vertex to a uniformly random partition."""
+
+    name = "random"
+
+    def __init__(self, seed: int | None = None) -> None:
+        self.seed = seed
+
+    def partition(
+        self, graph: UndirectedGraph | DiGraph, num_partitions: int
+    ) -> dict[int, int]:
+        rng = np.random.default_rng(self.seed)
+        vertices = list(graph.vertices())
+        labels = rng.integers(num_partitions, size=len(vertices))
+        return {vertex: int(label) for vertex, label in zip(vertices, labels)}

@@ -1,0 +1,60 @@
+"""Registry of partitioners by name.
+
+The CLI and the experiment harness look partitioners up by the short names
+used in the paper's tables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.config import SpinnerConfig
+from repro.partitioners.base import Partitioner
+from repro.partitioners.fennel import FennelPartitioner
+from repro.partitioners.hashing import HashPartitioner, ModuloPartitioner
+from repro.partitioners.ldg import LinearDeterministicGreedy
+from repro.partitioners.metis import MetisLikePartitioner
+from repro.partitioners.random_part import RandomPartitioner
+from repro.partitioners.spinner_adapter import SpinnerFastAdapter, SpinnerPregelAdapter
+from repro.partitioners.wang import WangPartitioner
+
+_FACTORIES: dict[str, Callable[..., Partitioner]] = {
+    "hash": HashPartitioner,
+    "modulo": ModuloPartitioner,
+    "random": RandomPartitioner,
+    "ldg": LinearDeterministicGreedy,
+    "fennel": FennelPartitioner,
+    "metis": MetisLikePartitioner,
+    "wang": WangPartitioner,
+    "spinner": SpinnerFastAdapter,
+    "spinner-pregel": SpinnerPregelAdapter,
+}
+
+
+def available_partitioners() -> list[str]:
+    """Names accepted by :func:`make_partitioner`, sorted alphabetically."""
+    return sorted(_FACTORIES)
+
+
+def make_partitioner(name: str, **kwargs) -> Partitioner:
+    """Instantiate a partitioner by name.
+
+    ``kwargs`` are forwarded to the constructor; for the Spinner adapters a
+    ``config`` keyword accepts a :class:`~repro.core.config.SpinnerConfig`.
+
+    Raises
+    ------
+    KeyError
+        If ``name`` is not a known partitioner.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        known = ", ".join(available_partitioners())
+        raise KeyError(f"unknown partitioner {name!r}; available: {known}") from None
+    return factory(**kwargs)
+
+
+def default_spinner_config() -> SpinnerConfig:
+    """The paper's default Spinner configuration (c=1.05, eps=0.001, w=5)."""
+    return SpinnerConfig()

@@ -1,0 +1,48 @@
+"""Adapters exposing the two Spinner implementations as `Partitioner`s.
+
+The comparison harness (Table I, Figure 3) treats every approach through
+the :class:`~repro.partitioners.base.Partitioner` interface; these thin
+adapters let Spinner participate.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import SpinnerConfig
+from repro.core.fast import FastSpinner
+from repro.core.spinner import SpinnerPartitioner
+from repro.graph.digraph import DiGraph
+from repro.graph.undirected import UndirectedGraph
+from repro.partitioners.base import Partitioner
+
+
+class SpinnerFastAdapter(Partitioner):
+    """Vectorized Spinner behind the common partitioner interface."""
+
+    name = "spinner"
+
+    def __init__(self, config: SpinnerConfig | None = None) -> None:
+        self.config = config if config is not None else SpinnerConfig()
+
+    def partition(
+        self, graph: UndirectedGraph | DiGraph, num_partitions: int
+    ) -> dict[int, int]:
+        result = FastSpinner(self.config).partition(graph, num_partitions)
+        return result.to_assignment()
+
+
+class SpinnerPregelAdapter(Partitioner):
+    """Pregel-based Spinner behind the common partitioner interface."""
+
+    name = "spinner-pregel"
+
+    def __init__(
+        self, config: SpinnerConfig | None = None, num_workers: int = 4
+    ) -> None:
+        self.config = config if config is not None else SpinnerConfig()
+        self.num_workers = num_workers
+
+    def partition(
+        self, graph: UndirectedGraph | DiGraph, num_partitions: int
+    ) -> dict[int, int]:
+        partitioner = SpinnerPartitioner(self.config, num_workers=self.num_workers)
+        return partitioner.partition(graph, num_partitions).assignment

@@ -1,0 +1,48 @@
+"""Simulated Pregel/Giraph execution substrate.
+
+The paper implements Spinner on Apache Giraph, an open-source Pregel
+implementation running on Hadoop clusters.  This subpackage provides a
+faithful single-process simulation of that model:
+
+* **vertex-centric programs** (:class:`repro.pregel.program.VertexProgram`)
+  executed superstep by superstep with synchronous message delivery;
+* **aggregators** (:mod:`repro.pregel.aggregators`) with the commutative /
+  associative semantics of Pregel (values aggregated in superstep *S* are
+  visible in superstep *S + 1*), mirroring Giraph's sharded aggregators;
+* **workers** (:mod:`repro.pregel.worker`) with per-worker shared state,
+  which Spinner uses for its asynchronous per-worker load counters
+  (paper Section IV-A4);
+* a **master compute** hook executed between supersteps;
+* a **cost model** (:mod:`repro.pregel.cost_model`) that charges local and
+  remote messages differently and derives a simulated superstep time as the
+  maximum over workers — the quantity behind Table IV and Figure 9.
+"""
+
+from repro.pregel.aggregators import (
+    AggregatorRegistry,
+    DoubleSumAggregator,
+    LongSumAggregator,
+    MaxAggregator,
+    MinAggregator,
+)
+from repro.pregel.cost_model import ClusterCostModel, SuperstepStats
+from repro.pregel.engine import PregelEngine, PregelResult
+from repro.pregel.master import MasterCompute
+from repro.pregel.program import ComputeContext, VertexProgram
+from repro.pregel.vertex import Vertex
+
+__all__ = [
+    "AggregatorRegistry",
+    "ClusterCostModel",
+    "ComputeContext",
+    "DoubleSumAggregator",
+    "LongSumAggregator",
+    "MasterCompute",
+    "MaxAggregator",
+    "MinAggregator",
+    "PregelEngine",
+    "PregelResult",
+    "SuperstepStats",
+    "Vertex",
+    "VertexProgram",
+]

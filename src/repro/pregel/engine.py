@@ -1,0 +1,270 @@
+"""The simulated Pregel engine.
+
+The engine executes a :class:`~repro.pregel.program.VertexProgram` over a
+set of vertices placed on simulated workers, superstep by superstep, with
+synchronous message delivery, aggregators, an optional master compute and
+per-superstep cost accounting.
+
+The semantics follow the Pregel paper (and Giraph's implementation of it):
+
+* a vertex is *active* unless it has voted to halt; receiving a message
+  re-activates it;
+* messages sent in superstep *S* are delivered at the start of *S + 1*;
+* aggregator values contributed during *S* are visible during *S + 1*;
+* the computation ends when every vertex has halted and no messages are in
+  flight, when the master requests a halt, or when ``max_supersteps`` is
+  reached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import PregelError
+from repro.graph.digraph import DiGraph
+from repro.graph.undirected import UndirectedGraph
+from repro.pregel.aggregators import AggregatorRegistry
+from repro.pregel.cost_model import (
+    ClusterCostModel,
+    RunStats,
+    SuperstepStats,
+    WorkerStats,
+)
+from repro.pregel.master import MasterCompute
+from repro.pregel.messages import MessageCombiner, MessageStore
+from repro.pregel.program import ComputeContext, VertexProgram
+from repro.pregel.vertex import Vertex
+from repro.pregel.worker import PlacementFn, build_workers, hash_placement
+
+
+@dataclass
+class PregelResult:
+    """Outcome of a Pregel run."""
+
+    vertices: dict[int, Vertex]
+    num_supersteps: int
+    stats: RunStats
+    aggregators: AggregatorRegistry
+    aggregator_history: dict[str, list[Any]] = field(default_factory=dict)
+    halt_reason: str = "converged"
+
+    def vertex_values(self) -> dict[int, Any]:
+        """Convenience mapping of vertex id to final vertex value."""
+        return {vid: vertex.value for vid, vertex in self.vertices.items()}
+
+    def simulated_time(self, model: ClusterCostModel) -> float:
+        """Total simulated runtime under ``model``."""
+        return self.stats.simulated_time(model)
+
+
+class PregelEngine:
+    """Single-process simulation of a Giraph cluster.
+
+    Parameters
+    ----------
+    num_workers:
+        Number of simulated workers.
+    placement:
+        Vertex placement function; defaults to hash placement, matching
+        Giraph's default partitioning of vertices onto workers.
+    cost_model:
+        Cost coefficients used when reporting simulated times.
+    combiner:
+        Optional message combiner applied to all messages.
+    max_supersteps:
+        Safety bound on the number of supersteps.
+    """
+
+    def __init__(
+        self,
+        num_workers: int = 4,
+        placement: PlacementFn | None = None,
+        cost_model: ClusterCostModel | None = None,
+        combiner: MessageCombiner | None = None,
+        max_supersteps: int = 500,
+    ) -> None:
+        if num_workers <= 0:
+            raise PregelError("num_workers must be positive")
+        if max_supersteps <= 0:
+            raise PregelError("max_supersteps must be positive")
+        self.num_workers = num_workers
+        self.placement = placement if placement is not None else hash_placement(num_workers)
+        self.cost_model = cost_model if cost_model is not None else ClusterCostModel()
+        self.combiner = combiner
+        self.max_supersteps = max_supersteps
+
+    # ------------------------------------------------------------------
+    # graph loading
+    # ------------------------------------------------------------------
+    @staticmethod
+    def vertices_from_digraph(
+        graph: DiGraph,
+        vertex_value: Callable[[int], Any] | None = None,
+        edge_value: Callable[[int, int], Any] | None = None,
+    ) -> dict[int, Vertex]:
+        """Build Pregel vertices from a directed graph.
+
+        Each vertex gets one outgoing edge per directed edge, matching the
+        Giraph data model where a vertex knows only its out-edges.
+        """
+        vertices: dict[int, Vertex] = {}
+        for vertex_id in graph.vertices():
+            value = vertex_value(vertex_id) if vertex_value else None
+            vertices[vertex_id] = Vertex(vertex_id, value=value)
+        for source, target in graph.edges():
+            value = edge_value(source, target) if edge_value else 1
+            vertices[source].add_edge(target, value)
+        return vertices
+
+    @staticmethod
+    def vertices_from_undirected(
+        graph: UndirectedGraph,
+        vertex_value: Callable[[int], Any] | None = None,
+        edge_value: Callable[[int, int, int], Any] | None = None,
+    ) -> dict[int, Vertex]:
+        """Build Pregel vertices from a weighted undirected graph.
+
+        Every undirected edge materializes as two directed edges (one per
+        endpoint); by default the edge value is the undirected weight.
+        """
+        vertices: dict[int, Vertex] = {}
+        for vertex_id in graph.vertices():
+            value = vertex_value(vertex_id) if vertex_value else None
+            vertices[vertex_id] = Vertex(vertex_id, value=value)
+        for u, v, weight in graph.edges():
+            value_uv = edge_value(u, v, weight) if edge_value else weight
+            value_vu = edge_value(v, u, weight) if edge_value else weight
+            vertices[u].add_edge(v, value_uv)
+            vertices[v].add_edge(u, value_vu)
+        return vertices
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        program: VertexProgram,
+        vertices: dict[int, Vertex],
+        master: MasterCompute | None = None,
+    ) -> PregelResult:
+        """Execute ``program`` over ``vertices`` until convergence.
+
+        The ``vertices`` dictionary is mutated in place (vertex values and
+        edge values evolve as the program runs) and is also returned inside
+        the :class:`PregelResult`.
+        """
+        aggregators = AggregatorRegistry()
+        program.register_aggregators(aggregators)
+        if master is not None:
+            master.initialize(aggregators)
+
+        workers, worker_of = build_workers(vertices.keys(), self.num_workers, self.placement)
+        incoming = MessageStore(self.combiner)
+        run_stats = RunStats()
+        aggregator_history: dict[str, list[Any]] = {name: [] for name in aggregators.names()}
+        halt_reason = "converged"
+
+        superstep = 0
+        while True:
+            if superstep >= self.max_supersteps:
+                halt_reason = "max_supersteps"
+                break
+
+            if master is not None:
+                master.compute(superstep, aggregators)
+                if master.halt_requested:
+                    halt_reason = "master_halt"
+                    break
+
+            # Standard Pregel termination: all vertices halted, no messages.
+            any_active = any(not v.halted for v in vertices.values())
+            if superstep > 0 and incoming.is_empty() and not any_active:
+                halt_reason = "converged"
+                break
+
+            outgoing = MessageStore(self.combiner)
+            superstep_stat = SuperstepStats(superstep=superstep)
+
+            for worker in workers:
+                worker_stat = WorkerStats()
+                program.pre_superstep(superstep, worker.shared_store, aggregators)
+
+                def on_send(target: int, _worker_id: int = worker.worker_id,
+                            _stat: WorkerStats = worker_stat) -> None:
+                    if worker_of.get(target, -1) == _worker_id:
+                        _stat.local_messages_sent += 1
+                    else:
+                        _stat.remote_messages_sent += 1
+
+                def send(target: int, message: Any,
+                         _on_send: Callable[[int], None] = on_send,
+                         _store: MessageStore = outgoing) -> None:
+                    _on_send(target)
+                    _store.send(target, message)
+
+                ctx = ComputeContext(
+                    superstep=superstep,
+                    num_vertices=len(vertices),
+                    aggregators=aggregators,
+                    send=send,
+                    worker_store=worker.shared_store,
+                    worker_id=worker.worker_id,
+                    num_workers=self.num_workers,
+                )
+
+                for vertex_id in worker.vertex_ids:
+                    vertex = vertices[vertex_id]
+                    messages = incoming.messages_for(vertex_id)
+                    if messages:
+                        vertex.activate()
+                    if vertex.halted:
+                        continue
+                    program.compute(vertex, messages, ctx)
+                    worker_stat.vertices_computed += 1
+                    worker_stat.edges_scanned += vertex.num_edges
+
+                program.post_superstep(superstep, worker.shared_store, aggregators)
+                superstep_stat.worker_stats.append(worker_stat)
+
+            run_stats.superstep_stats.append(superstep_stat)
+            aggregators.advance_superstep()
+            for name in aggregators.names():
+                aggregator_history.setdefault(name, []).append(aggregators.value(name))
+
+            incoming = outgoing
+            superstep += 1
+
+        return PregelResult(
+            vertices=vertices,
+            num_supersteps=superstep,
+            stats=run_stats,
+            aggregators=aggregators,
+            aggregator_history=aggregator_history,
+            halt_reason=halt_reason,
+        )
+
+    # ------------------------------------------------------------------
+    def run_on_digraph(
+        self,
+        program: VertexProgram,
+        graph: DiGraph,
+        vertex_value: Callable[[int], Any] | None = None,
+        edge_value: Callable[[int, int], Any] | None = None,
+        master: MasterCompute | None = None,
+    ) -> PregelResult:
+        """Convenience wrapper: load a directed graph and run ``program``."""
+        vertices = self.vertices_from_digraph(graph, vertex_value, edge_value)
+        return self.run(program, vertices, master=master)
+
+    def run_on_undirected(
+        self,
+        program: VertexProgram,
+        graph: UndirectedGraph,
+        vertex_value: Callable[[int], Any] | None = None,
+        edge_value: Callable[[int, int, int], Any] | None = None,
+        master: MasterCompute | None = None,
+    ) -> PregelResult:
+        """Convenience wrapper: load an undirected graph and run ``program``."""
+        vertices = self.vertices_from_undirected(graph, vertex_value, edge_value)
+        return self.run(program, vertices, master=master)

@@ -1,0 +1,41 @@
+"""Master compute hook.
+
+In Giraph a ``MasterCompute`` object runs once between supersteps on the
+master: it can read the aggregator values produced by the previous
+superstep, set aggregator values for the next one, and halt the whole
+computation.  Spinner's halting heuristic (paper Section III-C) lives in
+its master compute.
+"""
+
+from __future__ import annotations
+
+from repro.pregel.aggregators import AggregatorRegistry
+
+
+class MasterCompute:
+    """Base class for master computations.
+
+    Subclasses override :meth:`initialize` to register aggregators before
+    superstep 0 and :meth:`compute` to run between supersteps.  Calling
+    :meth:`halt_computation` stops the run after the current superstep.
+    """
+
+    def __init__(self) -> None:
+        self._halt_requested = False
+
+    # ------------------------------------------------------------------
+    def initialize(self, aggregators: AggregatorRegistry) -> None:
+        """Register aggregators; called once before the first superstep."""
+
+    def compute(self, superstep: int, aggregators: AggregatorRegistry) -> None:
+        """Run between supersteps; ``superstep`` is the one about to start."""
+
+    # ------------------------------------------------------------------
+    def halt_computation(self) -> None:
+        """Request that the engine stops before the next superstep."""
+        self._halt_requested = True
+
+    @property
+    def halt_requested(self) -> bool:
+        """Whether :meth:`halt_computation` has been called."""
+        return self._halt_requested

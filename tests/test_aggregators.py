@@ -1,0 +1,76 @@
+"""Tests for Pregel aggregators."""
+
+import pytest
+
+from repro.errors import AggregatorError
+from repro.pregel.aggregators import (
+    AggregatorRegistry,
+    DoubleSumAggregator,
+    LongSumAggregator,
+    MaxAggregator,
+    MinAggregator,
+)
+
+
+def test_sum_aggregator_visible_next_superstep():
+    aggregator = LongSumAggregator()
+    aggregator.aggregate(3)
+    aggregator.aggregate(4)
+    assert aggregator.value == 0  # not yet published
+    aggregator.advance_superstep()
+    assert aggregator.value == 7
+    aggregator.advance_superstep()
+    assert aggregator.value == 0  # non-persistent resets
+
+
+def test_persistent_aggregator_accumulates():
+    aggregator = DoubleSumAggregator(persistent=True)
+    aggregator.aggregate(1.5)
+    aggregator.advance_superstep()
+    aggregator.aggregate(2.5)
+    aggregator.advance_superstep()
+    assert aggregator.value == 4.0
+
+
+def test_min_max_aggregators():
+    low = MinAggregator()
+    high = MaxAggregator()
+    for value in (3.0, -1.0, 7.0):
+        low.aggregate(value)
+        high.aggregate(value)
+    low.advance_superstep()
+    high.advance_superstep()
+    assert low.value == -1.0
+    assert high.value == 7.0
+
+
+def test_registry_register_and_lookup():
+    registry = AggregatorRegistry()
+    registry.register("loads", LongSumAggregator())
+    registry.aggregate("loads", 5)
+    registry.advance_superstep()
+    assert registry.value("loads") == 5
+    assert "loads" in registry
+    assert registry.names() == ["loads"]
+
+
+def test_registry_duplicate_registration():
+    registry = AggregatorRegistry()
+    registry.register("a", LongSumAggregator())
+    with pytest.raises(AggregatorError):
+        registry.register("a", LongSumAggregator())
+    registry.register("a", LongSumAggregator(), allow_existing=True)
+
+
+def test_registry_unknown_aggregator():
+    registry = AggregatorRegistry()
+    with pytest.raises(AggregatorError):
+        registry.value("missing")
+
+
+def test_master_set_overrides_value():
+    aggregator = LongSumAggregator()
+    aggregator.aggregate(2)
+    aggregator.set(10)
+    aggregator.advance_superstep()
+    assert aggregator.value == 10

@@ -1,0 +1,113 @@
+"""Tests for the analytical models (Propositions 1-3)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.connectivity import (
+    is_b_connected,
+    is_strongly_connected,
+    migration_edges,
+)
+from repro.analysis.load_model import LoadVectorModel, estimate_convergence_rate
+from repro.analysis.overload_bound import (
+    empirical_overload_rate,
+    overload_probability_bound,
+)
+from repro.errors import ConfigurationError
+
+
+def test_strong_connectivity():
+    cycle = [(0, 1), (1, 2), (2, 0)]
+    assert is_strongly_connected(3, cycle)
+    assert not is_strongly_connected(3, [(0, 1), (1, 2)])
+    assert is_strongly_connected(1, [])
+
+
+def test_b_connectivity_over_windows():
+    k = 3
+    graphs = [[(0, 1), (1, 0)], [(1, 2), (2, 1), (0, 1), (1, 0)]]
+    # Union over a window of 2 is strongly connected.
+    assert is_b_connected(k, graphs, window=2)
+    # Each individual graph is not.
+    assert not is_b_connected(k, graphs, window=1)
+    with pytest.raises(ValueError):
+        is_b_connected(k, graphs, window=0)
+
+
+def test_migration_edges():
+    before = [0, 0, 1, 2]
+    after = [1, 0, 1, 0]
+    assert migration_edges(before, after) == {(0, 1), (2, 0)}
+
+
+def test_load_model_converges_to_even_balance():
+    model = LoadVectorModel(num_partitions=6, exchange_fraction=0.3, seed=1)
+    initial = np.array([100.0, 0.0, 0.0, 0.0, 0.0, 0.0])
+    trajectory = model.simulate(initial, iterations=120)
+    final = trajectory[-1]
+    # Proposition 1: every component converges to the same value.
+    assert final.max() - final.min() < 1e-6
+    assert 0.0 < final.mean() < 100.0
+
+
+def test_load_model_convergence_is_exponential():
+    model = LoadVectorModel(num_partitions=5, exchange_fraction=0.4, seed=2)
+    trajectory = model.simulate(np.array([50.0, 10.0, 0.0, 0.0, 0.0]), iterations=80)
+    rate = estimate_convergence_rate(trajectory)
+    assert 0.0 < rate < 1.0
+
+
+def test_load_model_validation():
+    with pytest.raises(ConfigurationError):
+        LoadVectorModel(num_partitions=1)
+    with pytest.raises(ConfigurationError):
+        LoadVectorModel(num_partitions=3, exchange_fraction=0.0)
+    model = LoadVectorModel(num_partitions=3)
+    with pytest.raises(ConfigurationError):
+        model.simulate(np.zeros(5), iterations=3)
+
+
+def test_stochastic_matrix_properties():
+    model = LoadVectorModel(num_partitions=4, exchange_fraction=0.25, seed=3)
+    matrix = model.random_stochastic_matrix()
+    assert np.allclose(matrix.sum(axis=1), 1.0)
+    assert np.all(np.diag(matrix) > 0)
+
+
+def test_overload_bound_decreases_with_more_candidates():
+    few = overload_probability_bound(10, 0.2, 100.0, 1.0, 50.0)
+    many = overload_probability_bound(200, 0.2, 100.0, 1.0, 50.0)
+    assert many < few <= 1.0
+
+
+def test_overload_bound_matches_paper_example():
+    # |M(l)| = 200, delta = 1, Delta = 500 (the paper's worked example):
+    # exceeding C + 0.2 r(l) has probability < 0.2 and exceeding
+    # C + 0.4 r(l) has probability < 0.0016 (for a remaining capacity large
+    # enough for the example to be meaningful, here r(l) = 200).
+    bound_04 = overload_probability_bound(200, 0.4, 200.0, 1.0, 500.0)
+    bound_02 = overload_probability_bound(200, 0.2, 200.0, 1.0, 500.0)
+    assert bound_02 < 0.2
+    assert bound_04 < 0.0016
+
+
+def test_overload_bound_edge_cases():
+    assert overload_probability_bound(0, 0.2, 10.0, 1.0, 5.0) == 1.0
+    assert overload_probability_bound(10, 0.2, 10.0, 3.0, 3.0) == 0.0
+
+
+def test_empirical_rate_is_below_bound():
+    rng = np.random.default_rng(0)
+    degrees = rng.integers(1, 50, size=150).astype(float)
+    remaining = 0.5 * degrees.sum()
+    epsilon = 0.2
+    empirical = empirical_overload_rate(degrees, remaining, epsilon, trials=1500, seed=1)
+    bound = overload_probability_bound(
+        len(degrees), epsilon, remaining, degrees.min(), degrees.max()
+    )
+    assert empirical <= bound + 0.02
+
+
+def test_empirical_rate_empty_inputs():
+    assert empirical_overload_rate([], 10.0, 0.1) == 0.0
+    assert empirical_overload_rate([1.0, 2.0], 0.0, 0.1) == 0.0

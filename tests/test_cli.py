@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.io import read_partitioning, write_directed_edge_list
+from repro.graph.digraph import DiGraph
+
+
+def test_parser_subcommands():
+    parser = build_parser()
+    args = parser.parse_args(["partition", "--dataset", "TU", "-k", "4"])
+    assert args.command == "partition"
+    args = parser.parse_args(["experiment", "table3"])
+    assert args.command == "experiment"
+
+
+def test_partition_command_writes_assignment(tmp_path, capsys):
+    graph = DiGraph.from_edges([(i, (i + 1) % 20) for i in range(20)] + [(i, (i + 2) % 20) for i in range(20)])
+    edge_file = tmp_path / "graph.edges"
+    write_directed_edge_list(graph, edge_file)
+    output_file = tmp_path / "parts.txt"
+    code = main(
+        [
+            "partition",
+            "--edge-list",
+            str(edge_file),
+            "-k",
+            "2",
+            "--partitioner",
+            "spinner",
+            "--output",
+            str(output_file),
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "phi" in captured
+    assignment = read_partitioning(output_file)
+    assert set(assignment) == set(graph.vertices())
+
+
+def test_compare_command_on_dataset(capsys):
+    code = main(
+        [
+            "compare",
+            "--dataset",
+            "TU",
+            "--scale",
+            "0.03",
+            "-k",
+            "4",
+            "--partitioners",
+            "hash",
+            "ldg",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "hash" in out and "ldg" in out
+
+
+def test_experiment_command(capsys):
+    code = main(["experiment", "table3", "--scale", "0.03"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "rho" in out
+
+
+def test_missing_graph_source_errors():
+    with pytest.raises(SystemExit):
+        main(["partition", "-k", "2"])

@@ -1,0 +1,77 @@
+"""Tests for SpinnerConfig and the halting heuristic."""
+
+import pytest
+
+from repro.core.config import SpinnerConfig
+from repro.core.halting import HaltingTracker
+from repro.errors import ConfigurationError
+
+
+def test_default_config_matches_paper():
+    config = SpinnerConfig()
+    assert config.additional_capacity == pytest.approx(1.05)
+    assert config.halt_threshold == pytest.approx(0.001)
+    assert config.halt_window == 5
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        SpinnerConfig(additional_capacity=1.0)
+    with pytest.raises(ConfigurationError):
+        SpinnerConfig(halt_threshold=-0.1)
+    with pytest.raises(ConfigurationError):
+        SpinnerConfig(halt_window=0)
+    with pytest.raises(ConfigurationError):
+        SpinnerConfig(max_iterations=0)
+
+
+def test_with_options_returns_modified_copy():
+    config = SpinnerConfig()
+    other = config.with_options(additional_capacity=1.2, seed=9)
+    assert other.additional_capacity == 1.2
+    assert other.seed == 9
+    assert config.additional_capacity == 1.05  # original untouched
+
+
+def test_capacity_formula():
+    config = SpinnerConfig(additional_capacity=1.1)
+    assert config.capacity(total_load=1000, num_partitions=10) == pytest.approx(110.0)
+    with pytest.raises(ConfigurationError):
+        config.capacity(100, 0)
+
+
+def test_halting_requires_window_of_stale_iterations():
+    tracker = HaltingTracker(threshold=0.01, window=3)
+    assert not tracker.update(100.0)
+    # Big improvements keep resetting the stale counter.
+    assert not tracker.update(150.0)
+    assert not tracker.update(151.0)  # < 1% improvement -> stale 1
+    assert not tracker.update(151.2)  # stale 2
+    assert tracker.update(151.3)  # stale 3 -> halt
+    assert tracker.stale_iterations == 3
+
+
+def test_halting_resets_on_improvement():
+    tracker = HaltingTracker(threshold=0.01, window=2)
+    tracker.update(10.0)
+    tracker.update(10.0)  # stale 1
+    tracker.update(20.0)  # improvement resets
+    assert tracker.stale_iterations == 0
+    assert not tracker.update(20.0)
+    assert tracker.update(20.0)
+
+
+def test_halting_with_negative_scores():
+    tracker = HaltingTracker(threshold=0.001, window=2)
+    tracker.update(-500.0)
+    tracker.update(-100.0)  # large improvement
+    assert tracker.stale_iterations == 0
+
+
+def test_halting_reset():
+    tracker = HaltingTracker(window=1)
+    tracker.update(1.0)
+    tracker.update(1.0)
+    tracker.reset()
+    assert tracker.history == []
+    assert not tracker.update(1.0)

@@ -1,0 +1,53 @@
+"""Tests for the directed -> weighted undirected conversion (eq. 3)."""
+
+from repro.graph.conversion import (
+    ensure_undirected,
+    to_weighted_undirected,
+    undirected_view_unweighted,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.undirected import UndirectedGraph
+
+
+def test_reciprocal_edges_get_weight_two(small_directed):
+    undirected = to_weighted_undirected(small_directed)
+    assert undirected.weight(0, 1) == 2
+    assert undirected.weight(2, 3) == 2
+    assert undirected.weight(1, 2) == 1
+    assert undirected.weight(3, 4) == 1
+
+
+def test_total_weight_equals_directed_edges(small_directed):
+    undirected = to_weighted_undirected(small_directed)
+    assert undirected.total_weight == small_directed.num_edges
+
+
+def test_self_loops_are_dropped():
+    graph = DiGraph.from_edges([(0, 0), (0, 1)])
+    undirected = to_weighted_undirected(graph)
+    assert undirected.num_edges == 1
+    assert not undirected.has_edge(0, 0) if 0 in undirected else True
+
+
+def test_all_vertices_preserved():
+    graph = DiGraph.from_edges([(0, 1)], num_vertices=5)
+    undirected = to_weighted_undirected(graph)
+    assert undirected.num_vertices == 5
+
+
+def test_naive_conversion_weights_are_one(small_directed):
+    undirected = undirected_view_unweighted(small_directed)
+    assert all(w == 1 for _u, _v, w in undirected.edges())
+
+
+def test_ensure_undirected_passthrough():
+    graph = UndirectedGraph.from_edges([(0, 1)])
+    assert ensure_undirected(graph) is graph
+
+
+def test_ensure_undirected_converts_directed(small_directed):
+    converted = ensure_undirected(small_directed)
+    assert isinstance(converted, UndirectedGraph)
+    assert converted.weight(0, 1) == 2
+    naive = ensure_undirected(small_directed, direction_aware=False)
+    assert naive.weight(0, 1) == 1

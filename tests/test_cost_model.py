@@ -1,0 +1,69 @@
+"""Tests for the cluster cost model."""
+
+from repro.pregel.cost_model import (
+    ClusterCostModel,
+    RunStats,
+    SuperstepStats,
+    WorkerStats,
+)
+
+
+def make_superstep(worker_loads):
+    stats = SuperstepStats(superstep=0)
+    for vertices, edges, local, remote in worker_loads:
+        stats.worker_stats.append(
+            WorkerStats(
+                vertices_computed=vertices,
+                edges_scanned=edges,
+                local_messages_sent=local,
+                remote_messages_sent=remote,
+            )
+        )
+    return stats
+
+
+def test_worker_time_formula():
+    model = ClusterCostModel(
+        compute_cost=1.0, per_edge_cost=0.5, local_message_cost=0.1, remote_message_cost=2.0
+    )
+    assert model.worker_time(10, 4, 5, 3) == 10 + 2.0 + 0.5 + 6.0
+
+
+def test_superstep_time_is_max_over_workers():
+    model = ClusterCostModel()
+    stats = make_superstep([(10, 0, 0, 0), (50, 0, 0, 0)])
+    assert stats.simulated_time(model) == 50 * model.compute_cost
+    assert stats.min_worker_time(model) == 10 * model.compute_cost
+    assert stats.mean_worker_time(model) == 30 * model.compute_cost
+
+
+def test_message_counters():
+    stats = make_superstep([(1, 1, 3, 2), (1, 1, 1, 4)])
+    assert stats.local_messages == 4
+    assert stats.remote_messages == 6
+    assert stats.total_messages == 10
+    assert stats.vertices_computed == 2
+
+
+def test_remote_messages_cost_more_than_local():
+    model = ClusterCostModel()
+    local_heavy = make_superstep([(0, 0, 10, 0)])
+    remote_heavy = make_superstep([(0, 0, 0, 10)])
+    assert remote_heavy.simulated_time(model) > local_heavy.simulated_time(model)
+
+
+def test_run_stats_aggregation():
+    run = RunStats(superstep_stats=[make_superstep([(1, 0, 2, 3)]), make_superstep([(1, 0, 0, 1)])])
+    assert run.num_supersteps == 2
+    assert run.total_messages == 6
+    assert run.remote_messages == 4
+    model = ClusterCostModel()
+    assert run.simulated_time(model) > 0
+
+
+def test_empty_superstep():
+    model = ClusterCostModel()
+    stats = SuperstepStats(superstep=0)
+    assert stats.simulated_time(model) == 0.0
+    assert stats.mean_worker_time(model) == 0.0
+    assert stats.min_worker_time(model) == 0.0

@@ -1,0 +1,80 @@
+"""Unit tests for the directed graph structure."""
+
+import pytest
+
+from repro.errors import GraphError, VertexNotFoundError
+from repro.graph.digraph import DiGraph
+
+
+def test_add_edge_creates_vertices():
+    graph = DiGraph()
+    assert graph.add_edge(1, 2)
+    assert graph.num_vertices == 2
+    assert graph.num_edges == 1
+    assert graph.has_edge(1, 2)
+    assert not graph.has_edge(2, 1)
+
+
+def test_parallel_edges_are_collapsed():
+    graph = DiGraph()
+    assert graph.add_edge(0, 1)
+    assert not graph.add_edge(0, 1)
+    assert graph.num_edges == 1
+
+
+def test_add_edges_returns_new_count():
+    graph = DiGraph()
+    added = graph.add_edges([(0, 1), (1, 2), (0, 1)])
+    assert added == 2
+
+
+def test_remove_edge():
+    graph = DiGraph.from_edges([(0, 1), (1, 2)])
+    assert graph.remove_edge(0, 1)
+    assert not graph.remove_edge(0, 1)
+    assert graph.num_edges == 1
+
+
+def test_successors_and_degree():
+    graph = DiGraph.from_edges([(0, 1), (0, 2), (1, 2)])
+    assert graph.successors(0) == {1, 2}
+    assert graph.out_degree(0) == 2
+    assert graph.out_degree(2) == 0
+
+
+def test_successors_of_missing_vertex_raises():
+    graph = DiGraph()
+    with pytest.raises(VertexNotFoundError):
+        graph.successors(7)
+
+
+def test_negative_vertex_id_rejected():
+    graph = DiGraph()
+    with pytest.raises(GraphError):
+        graph.add_vertex(-1)
+
+
+def test_from_edges_with_isolated_vertices():
+    graph = DiGraph.from_edges([(0, 1)], num_vertices=5)
+    assert graph.num_vertices == 5
+    assert graph.out_degree(4) == 0
+
+
+def test_edges_iteration_matches_count():
+    graph = DiGraph.from_edges([(0, 1), (1, 2), (2, 0), (2, 1)])
+    assert len(list(graph.edges())) == graph.num_edges
+
+
+def test_copy_is_independent():
+    graph = DiGraph.from_edges([(0, 1)])
+    clone = graph.copy()
+    clone.add_edge(1, 2)
+    assert graph.num_edges == 1
+    assert clone.num_edges == 2
+
+
+def test_contains_and_len():
+    graph = DiGraph.from_edges([(0, 1)])
+    assert 0 in graph
+    assert 5 not in graph
+    assert len(graph) == 2

@@ -1,0 +1,74 @@
+"""Tests for dynamic graph change streams."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.dynamic import EdgeArrivalStream, GraphDelta, random_new_edges
+from repro.graph.generators import erdos_renyi
+
+
+@pytest.fixture
+def full_graph():
+    return erdos_renyi(150, 600, seed=11)
+
+
+def test_snapshot_plus_withheld_covers_graph(full_graph):
+    stream = EdgeArrivalStream(full_graph, holdout_fraction=0.3, seed=1)
+    assert stream.num_snapshot_edges + stream.num_withheld_edges == full_graph.num_edges
+    snapshot = stream.snapshot()
+    assert snapshot.num_vertices == full_graph.num_vertices
+    assert snapshot.num_edges == stream.num_snapshot_edges
+
+
+def test_delta_releases_requested_fraction(full_graph):
+    stream = EdgeArrivalStream(full_graph, holdout_fraction=0.4, seed=1)
+    delta = stream.delta(fraction_of_snapshot=0.05)
+    expected = round(stream.num_snapshot_edges * 0.05)
+    assert abs(delta.num_new_edges - expected) <= 1
+
+
+def test_delta_consumes_withheld_edges(full_graph):
+    stream = EdgeArrivalStream(full_graph, holdout_fraction=0.4, seed=1)
+    before = stream.num_withheld_edges
+    delta = stream.delta(num_edges=10)
+    assert delta.num_new_edges == 10
+    assert stream.num_withheld_edges == before - 10
+    stream.reset()
+    assert stream.num_withheld_edges == before
+
+
+def test_delta_requires_exactly_one_size_argument(full_graph):
+    stream = EdgeArrivalStream(full_graph, holdout_fraction=0.4, seed=1)
+    with pytest.raises(GraphError):
+        stream.delta()
+    with pytest.raises(GraphError):
+        stream.delta(fraction_of_snapshot=0.1, num_edges=5)
+
+
+def test_apply_delta_adds_edges(full_graph):
+    stream = EdgeArrivalStream(full_graph, holdout_fraction=0.3, seed=1)
+    snapshot = stream.snapshot()
+    delta = stream.delta(num_edges=20)
+    before = snapshot.num_edges
+    delta.apply(snapshot)
+    assert snapshot.num_edges == before + 20
+
+
+def test_invalid_holdout_fraction(full_graph):
+    with pytest.raises(GraphError):
+        EdgeArrivalStream(full_graph, holdout_fraction=0.0)
+    with pytest.raises(GraphError):
+        EdgeArrivalStream(full_graph, holdout_fraction=1.0)
+
+
+def test_random_new_edges_are_new(full_graph):
+    delta = random_new_edges(full_graph, fraction=0.05, seed=3)
+    for u, v, _w in delta.added_edges:
+        assert not full_graph.has_edge(u, v)
+
+
+def test_graph_delta_new_vertices():
+    delta = GraphDelta(added_edges=[(100, 101, 1)], added_vertices={100, 101})
+    graph = erdos_renyi(10, 20, seed=0)
+    delta.apply(graph)
+    assert graph.has_edge(100, 101)

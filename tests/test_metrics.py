@@ -1,0 +1,137 @@
+"""Tests for the partitioning quality, stability and balance metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidPartitionCountError, PartitioningError
+from repro.graph.csr import CSRGraph
+from repro.graph.undirected import UndirectedGraph
+from repro.metrics.balance import load_statistics, partition_load_statistics
+from repro.metrics.quality import (
+    cut_edges,
+    global_score,
+    locality,
+    max_normalized_load,
+    partition_loads,
+    quality_summary,
+)
+from repro.metrics.reporting import format_series, format_table, improvement_percentage
+from repro.metrics.stability import migration_volume, partitioning_difference
+
+
+def test_locality_of_perfect_and_worst_partitionings(two_cliques):
+    perfect = {v: 0 if v < 5 else 1 for v in two_cliques.vertices()}
+    assert locality(two_cliques, perfect) == pytest.approx(20 / 21)
+    all_same = {v: 0 for v in two_cliques.vertices()}
+    assert locality(two_cliques, all_same) == 1.0
+
+
+def test_locality_weighted_edges():
+    graph = UndirectedGraph.from_edges([(0, 1, 2), (1, 2, 1)])
+    assignment = {0: 0, 1: 0, 2: 1}
+    assert locality(graph, assignment) == pytest.approx(2 / 3)
+
+
+def test_cut_edges(two_cliques):
+    perfect = {v: 0 if v < 5 else 1 for v in two_cliques.vertices()}
+    assert cut_edges(two_cliques, perfect) == 1
+
+
+def test_partition_loads_sum_to_total_degree(two_cliques):
+    assignment = {v: v % 3 for v in two_cliques.vertices()}
+    loads = partition_loads(two_cliques, assignment, 3)
+    total_degree = sum(two_cliques.weighted_degree(v) for v in two_cliques.vertices())
+    assert loads.sum() == pytest.approx(total_degree)
+
+
+def test_rho_bounds(two_cliques):
+    balanced = {v: 0 if v < 5 else 1 for v in two_cliques.vertices()}
+    assert max_normalized_load(two_cliques, balanced, 2) == pytest.approx(1.0, abs=0.05)
+    unbalanced = {v: 0 for v in two_cliques.vertices()}
+    assert max_normalized_load(two_cliques, unbalanced, 2) == pytest.approx(2.0)
+
+
+def test_invalid_partition_count_rejected(triangle_graph):
+    with pytest.raises(InvalidPartitionCountError):
+        partition_loads(triangle_graph, {0: 0, 1: 0, 2: 0}, 0)
+
+
+def test_label_out_of_range_rejected(triangle_graph):
+    with pytest.raises(PartitioningError):
+        partition_loads(triangle_graph, {0: 0, 1: 5, 2: 0}, 2)
+
+
+def test_csr_and_dict_metrics_agree(community_graph):
+    csr = CSRGraph.from_undirected(community_graph)
+    rng = np.random.default_rng(0)
+    labels = rng.integers(4, size=csr.num_vertices)
+    assignment = {int(orig): int(lab) for orig, lab in zip(csr.original_ids, labels)}
+    assert locality(csr, labels) == pytest.approx(locality(community_graph, assignment))
+    assert max_normalized_load(csr, labels, 4) == pytest.approx(
+        max_normalized_load(community_graph, assignment, 4)
+    )
+    assert cut_edges(csr, labels) == cut_edges(community_graph, assignment)
+    assert global_score(csr, labels, 4) == pytest.approx(
+        global_score(community_graph, assignment, 4), rel=1e-9
+    )
+
+
+def test_global_score_prefers_better_partitionings(two_cliques):
+    good = {v: 0 if v < 5 else 1 for v in two_cliques.vertices()}
+    bad = {v: v % 2 for v in two_cliques.vertices()}
+    assert global_score(two_cliques, good, 2) > global_score(two_cliques, bad, 2)
+
+
+def test_quality_summary_row(two_cliques):
+    summary = quality_summary(two_cliques, {v: 0 if v < 5 else 1 for v in two_cliques.vertices()}, 2)
+    row = summary.as_row()
+    assert row["k"] == 2
+    assert 0 <= row["phi"] <= 1
+
+
+def test_partitioning_difference_dict_and_array():
+    before = {0: 0, 1: 1, 2: 1}
+    after = {0: 0, 1: 0, 2: 1, 3: 2}
+    assert partitioning_difference(before, after) == pytest.approx(1 / 3)
+    assert partitioning_difference(np.array([0, 1, 1]), np.array([0, 0, 1])) == pytest.approx(1 / 3)
+
+
+def test_partitioning_difference_shape_mismatch():
+    with pytest.raises(PartitioningError):
+        partitioning_difference(np.array([0, 1]), np.array([0, 1, 2]))
+
+
+def test_migration_volume_with_weights():
+    before = {0: 0, 1: 1}
+    after = {0: 1, 1: 1}
+    assert migration_volume(before, after) == 1.0
+    assert migration_volume(before, after, weights={0: 7}) == 7.0
+
+
+def test_load_statistics():
+    stats = load_statistics([10, 20, 30])
+    assert stats.mean == 20
+    assert stats.imbalance == pytest.approx(1.5)
+    assert stats.idle_fraction == pytest.approx(1 - 20 / 30)
+    empty = load_statistics([])
+    assert empty.imbalance == 1.0
+
+
+def test_partition_load_statistics(two_cliques):
+    assignment = {v: 0 if v < 5 else 1 for v in two_cliques.vertices()}
+    stats = partition_load_statistics(two_cliques, assignment, 2)
+    assert stats.maximum >= stats.minimum
+
+
+def test_format_table_and_series():
+    rows = [{"a": 1, "b": 0.5}, {"a": 2, "b": None}]
+    text = format_table(rows, title="demo")
+    assert "demo" in text and "a" in text and "0.500" in text
+    assert "(empty)" in format_table([])
+    series = format_series([1, 2], [3.0, 4.0], x_label="k", y_label="phi")
+    assert "k" in series and "phi" in series
+
+
+def test_improvement_percentage():
+    assert improvement_percentage(10, 5) == pytest.approx(50.0)
+    assert improvement_percentage(0, 5) == 0.0

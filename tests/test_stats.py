@@ -1,0 +1,61 @@
+"""Tests for graph statistics helpers."""
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import powerlaw_cluster, ring_lattice
+from repro.graph.stats import (
+    average_clustering,
+    degree_stats,
+    density,
+    reciprocity,
+)
+from repro.graph.undirected import UndirectedGraph
+
+
+def test_degree_stats_on_lattice():
+    graph = ring_lattice(30, degree=4)
+    stats = degree_stats(graph)
+    assert stats.minimum == 4
+    assert stats.maximum == 4
+    assert stats.mean == 4.0
+    assert stats.hub_ratio == 1.0
+
+
+def test_degree_stats_directed_uses_out_degree():
+    graph = DiGraph.from_edges([(0, 1), (0, 2), (1, 2)])
+    stats = degree_stats(graph)
+    assert stats.maximum == 2
+    assert stats.minimum == 0
+
+
+def test_degree_stats_empty_graph():
+    stats = degree_stats(UndirectedGraph())
+    assert stats.mean == 0.0
+    assert stats.hub_ratio == 0.0
+
+
+def test_clustering_of_triangle(triangle_graph):
+    assert average_clustering(triangle_graph) == 1.0
+
+
+def test_clustering_of_star_is_zero():
+    star = UndirectedGraph.from_edges([(0, i) for i in range(1, 6)])
+    assert average_clustering(star) == 0.0
+
+
+def test_clustering_sampling_is_deterministic():
+    graph = powerlaw_cluster(300, 5, 0.5, seed=1)
+    assert average_clustering(graph, sample_size=50, seed=3) == average_clustering(
+        graph, sample_size=50, seed=3
+    )
+
+
+def test_density():
+    graph = UndirectedGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+    assert density(graph) == 1.0
+    assert density(UndirectedGraph()) == 0.0
+
+
+def test_reciprocity():
+    graph = DiGraph.from_edges([(0, 1), (1, 0), (1, 2)])
+    assert abs(reciprocity(graph) - 2 / 3) < 1e-12
+    assert reciprocity(DiGraph()) == 0.0

@@ -1,0 +1,79 @@
+"""Unit tests for the weighted undirected graph structure."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.undirected import UndirectedGraph
+
+
+def test_add_edge_symmetric():
+    graph = UndirectedGraph()
+    graph.add_edge(0, 1, weight=2)
+    assert graph.has_edge(0, 1)
+    assert graph.has_edge(1, 0)
+    assert graph.weight(0, 1) == 2
+    assert graph.weight(1, 0) == 2
+
+
+def test_self_loop_rejected():
+    graph = UndirectedGraph()
+    with pytest.raises(GraphError):
+        graph.add_edge(3, 3)
+
+
+def test_non_positive_weight_rejected():
+    graph = UndirectedGraph()
+    with pytest.raises(GraphError):
+        graph.add_edge(0, 1, weight=0)
+
+
+def test_duplicate_edge_keeps_weight():
+    graph = UndirectedGraph()
+    assert graph.add_edge(0, 1, weight=1)
+    assert not graph.add_edge(0, 1, weight=5)
+    assert graph.weight(0, 1) == 1
+
+
+def test_set_weight_updates_total():
+    graph = UndirectedGraph.from_edges([(0, 1), (1, 2)])
+    graph.set_weight(0, 1, 2)
+    assert graph.total_weight == 3
+    with pytest.raises(GraphError):
+        graph.set_weight(0, 2, 2)
+
+
+def test_degrees():
+    graph = UndirectedGraph.from_edges([(0, 1, 2), (1, 2, 1)])
+    assert graph.degree(1) == 2
+    assert graph.weighted_degree(1) == 3
+    assert graph.weighted_degree(0) == 2
+
+
+def test_remove_edge_updates_counts():
+    graph = UndirectedGraph.from_edges([(0, 1, 2), (1, 2, 1)])
+    assert graph.remove_edge(0, 1)
+    assert graph.num_edges == 1
+    assert graph.total_weight == 1
+    assert not graph.remove_edge(0, 1)
+
+
+def test_edges_listed_once():
+    graph = UndirectedGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+    edges = list(graph.edges())
+    assert len(edges) == 3
+    assert all(u < v for u, v, _w in edges)
+
+
+def test_from_edges_with_weights_and_isolated():
+    graph = UndirectedGraph.from_edges([(0, 1, 3)], num_vertices=4)
+    assert graph.num_vertices == 4
+    assert graph.weight(0, 1) == 3
+    assert graph.degree(3) == 0
+
+
+def test_copy_is_independent():
+    graph = UndirectedGraph.from_edges([(0, 1)])
+    clone = graph.copy()
+    clone.add_edge(1, 2)
+    assert graph.num_edges == 1
+    assert clone.num_edges == 2
