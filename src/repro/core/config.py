@@ -59,6 +59,14 @@ class SpinnerConfig:
     prefer_current_label:
         Whether ties in the score function keep the current label
         (Section III-A's tie-breaking rule).
+    kernel:
+        Which :class:`~repro.core.fast.FastSpinner` inner loop to use:
+        ``"frontier"`` (default) maintains the per-vertex label-weight
+        histogram incrementally and only reprocesses the neighbourhood of
+        migrated vertices, while ``"dense"`` rebuilds the full histogram
+        every iteration (the reference kernel).  Both produce identical
+        labels for the same seed; ``"dense"`` exists for equivalence tests
+        and the kernel speed benchmark.
     """
 
     additional_capacity: float = DEFAULT_ADDITIONAL_CAPACITY
@@ -71,9 +79,14 @@ class SpinnerConfig:
     worker_local_updates: bool = True
     direction_aware: bool = True
     prefer_current_label: bool = True
+    kernel: str = "frontier"
     extra: dict = field(default_factory=dict, compare=False)
 
     def __post_init__(self) -> None:
+        if self.kernel not in ("frontier", "dense"):
+            raise ConfigurationError(
+                f"kernel must be 'frontier' or 'dense', got {self.kernel!r}"
+            )
         if self.additional_capacity <= 1.0:
             raise ConfigurationError(
                 f"additional_capacity must be > 1, got {self.additional_capacity}"

@@ -13,6 +13,16 @@ starting over:
 
 After this randomized re-initialization the normal Spinner iterations run
 to restore locality.
+
+The dict-based functions (:func:`expand_assignment`,
+:func:`shrink_assignment`, :func:`resize_assignment`) serve the Pregel
+implementation; the array-native ones (:func:`expand_labels`,
+:func:`shrink_labels`, :func:`resize_labels`) operate on dense label
+arrays with vectorized draws so the :class:`~repro.core.fast.FastSpinner`
+adaptation path never loops over vertices in Python.  Both implement the
+same distributions; the random streams differ (per-vertex draws vs. one
+vectorized draw), so individual outcomes are not comparable across the
+two families.
 """
 
 from __future__ import annotations
@@ -22,7 +32,7 @@ from collections.abc import Mapping
 import numpy as np
 
 from repro.errors import InvalidPartitionCountError
-from repro.core.state import validate_labels
+from repro.core.state import validate_label_array, validate_labels
 
 
 def expand_assignment(
@@ -82,6 +92,65 @@ def shrink_assignment(
         else:
             assignment[vertex] = label
     return assignment
+
+
+def expand_labels(
+    labels: np.ndarray,
+    old_num_partitions: int,
+    new_num_partitions: int,
+    seed: int | None = None,
+) -> np.ndarray:
+    """Vectorized :func:`expand_assignment` over a dense label array."""
+    if new_num_partitions <= old_num_partitions:
+        raise InvalidPartitionCountError(
+            new_num_partitions,
+            f"must exceed the previous count {old_num_partitions}",
+        )
+    labels = np.asarray(labels, dtype=np.int64)
+    validate_label_array(labels, old_num_partitions)
+    rng = np.random.default_rng(seed)
+    added = new_num_partitions - old_num_partitions
+    move = rng.random(labels.shape[0]) < added / new_num_partitions
+    resized = labels.copy()
+    resized[move] = old_num_partitions + rng.integers(added, size=int(move.sum()))
+    return resized
+
+
+def shrink_labels(
+    labels: np.ndarray,
+    old_num_partitions: int,
+    new_num_partitions: int,
+    seed: int | None = None,
+) -> np.ndarray:
+    """Vectorized :func:`shrink_assignment` over a dense label array."""
+    if not 0 < new_num_partitions < old_num_partitions:
+        raise InvalidPartitionCountError(
+            new_num_partitions,
+            f"must be positive and smaller than the previous count {old_num_partitions}",
+        )
+    labels = np.asarray(labels, dtype=np.int64)
+    validate_label_array(labels, old_num_partitions)
+    rng = np.random.default_rng(seed)
+    move = labels >= new_num_partitions
+    resized = labels.copy()
+    resized[move] = rng.integers(new_num_partitions, size=int(move.sum()))
+    return resized
+
+
+def resize_labels(
+    labels: np.ndarray,
+    old_num_partitions: int,
+    new_num_partitions: int,
+    seed: int | None = None,
+) -> np.ndarray:
+    """Dispatch to :func:`expand_labels` or :func:`shrink_labels`."""
+    if new_num_partitions == old_num_partitions:
+        labels = np.asarray(labels, dtype=np.int64)
+        validate_label_array(labels, old_num_partitions)
+        return labels.copy()
+    if new_num_partitions > old_num_partitions:
+        return expand_labels(labels, old_num_partitions, new_num_partitions, seed)
+    return shrink_labels(labels, old_num_partitions, new_num_partitions, seed)
 
 
 def resize_assignment(

@@ -18,6 +18,62 @@ the per-worker asynchronous load refinement of Section IV-A4 does not
 apply; this corresponds to the purely synchronous variant discussed in the
 paper and only affects convergence speed, not the reached quality (the
 ablation benchmark quantifies this).
+
+Performance architecture
+------------------------
+
+:class:`FastSpinner` ships two kernels selected by
+``SpinnerConfig.kernel``; both produce byte-identical labels for the same
+seed.
+
+``"dense"`` (the reference kernel)
+    Rebuilds the per-vertex label-weight histogram ``w(v, l)`` from
+    scratch every iteration with an unbuffered ``np.add.at`` scatter over
+    all ``2m`` half-edges — simple, and kept as the ground truth for the
+    equivalence suite and the speed benchmark
+    (``benchmarks/test_kernel_speed.py``).
+
+``"frontier"`` (the default, incremental kernel)
+    Exploits the paper's observation that after an iteration only the
+    vertices adjacent to *migrated* vertices see their neighbourhood
+    change.  The kernel keeps two matrices alive across iterations:
+
+    * ``label_weight`` — the ``(n, k)`` histogram ``w(v, l)``, stored as
+      ``int32`` when the weighted degrees allow it (histogram entries are
+      bounded by the weighted degree), halving the memory traffic of the
+      scoring pass, and
+    * ``q = label_weight / degree`` — a divide cache of the
+      degree-normalized scores before the balance penalty.
+
+    After each migration step the adjacency lists of the migrants (the
+    *frontier*) are gathered in one shot, and exactly the ``2 x volume``
+    histogram entries that changed — ``(neighbour, old_label)`` and
+    ``(neighbour, new_label)`` — are updated with one scatter-add, so the
+    per-iteration update cost is proportional to the frontier volume, not
+    to ``m``.  Because Spinner's capacity constraint (eq. 5) bounds the
+    load that may migrate per iteration, the frontier is a small fraction
+    of the graph throughout the run — and it collapses to near zero in
+    the converged and incremental-repartitioning regimes (Section III-D),
+    which is where the kernel shines.  The full pass (first iteration, or
+    whenever the frontier volume approaches ``2m``) uses a single
+    composite-key reduction instead of ``np.add.at``::
+
+        np.bincount(source * k + labels[target], weights=w, minlength=n * k)
+
+    The balance penalty changes globally every iteration, so candidate
+    selection still scans all ``n`` rows; that scan streams ``q`` once in
+    L2-sized row blocks (the kernel is memory-bandwidth bound, so the
+    penalty subtraction, tie-biased ``argmax`` and candidate gathers all
+    run on a hot ~1 MiB buffer).  Rows of ``q`` are re-divided only when
+    their histogram row changed.
+
+    Byte-identical labels fall out of exactness, not luck: every
+    histogram entry is an exact small integer (sums of integer edge
+    weights), ``int -> float64`` conversion and elementwise division are
+    deterministic, and the blocked traversal performs the same scalar
+    operations as the dense kernel's full-matrix expressions — so both
+    kernels see bit-equal scores and make identical decisions from the
+    identical RNG stream.
 """
 
 from __future__ import annotations
@@ -28,12 +84,16 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.config import SpinnerConfig
-from repro.core.elastic import resize_assignment
+from repro.core.elastic import resize_labels
 from repro.core.halting import HaltingTracker
-from repro.core.incremental import incremental_initial_assignment
+from repro.core.incremental import (
+    incremental_initial_labels,
+    map_assignment_to_dense,
+    place_least_loaded,
+)
 from repro.core.program import IterationRecord
 from repro.errors import InvalidPartitionCountError, PartitioningError
-from repro.graph.conversion import ensure_undirected
+from repro.graph.conversion import to_weighted_csr
 from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
 from repro.graph.undirected import UndirectedGraph
@@ -106,12 +166,14 @@ class FastSpinner:
         num_partitions: int,
         track_history: bool = True,
     ) -> FastSpinnerResult:
-        """Incremental repartitioning after graph changes (Section III-D)."""
+        """Incremental repartitioning after graph changes (Section III-D).
+
+        The previous assignment is mapped straight onto the CSR vertex
+        order (no dictionary round-trip); vertices new to the graph go to
+        the least loaded partition before label propagation restarts.
+        """
         csr = self._to_csr(graph)
-        undirected = csr.to_undirected()
-        initial = incremental_initial_assignment(
-            undirected, previous_assignment, num_partitions
-        )
+        initial = incremental_initial_labels(csr, previous_assignment, num_partitions)
         return self.partition(csr, num_partitions, initial_labels=initial,
                               track_history=track_history)
 
@@ -123,18 +185,26 @@ class FastSpinner:
         new_num_partitions: int,
         track_history: bool = True,
     ) -> FastSpinnerResult:
-        """Elastic repartitioning after a change in ``k`` (Section III-E)."""
-        resized = resize_assignment(
-            previous_assignment,
-            old_num_partitions,
-            new_num_partitions,
-            seed=self.config.seed,
-        )
+        """Elastic repartitioning after a change in ``k`` (Section III-E).
+
+        The previous labels are resized with the vectorized eq. (11)
+        draws; vertices missing from the previous assignment are placed on
+        the least loaded partition afterwards.
+        """
         csr = self._to_csr(graph)
-        undirected = csr.to_undirected()
-        initial = incremental_initial_assignment(undirected, resized, new_num_partitions)
+        labels, found = map_assignment_to_dense(
+            csr, previous_assignment, old_num_partitions
+        )
+        if found.any():
+            labels[found] = resize_labels(
+                labels[found],
+                old_num_partitions,
+                new_num_partitions,
+                seed=self.config.seed,
+            )
+        place_least_loaded(labels, ~found, csr.weighted_degrees, new_num_partitions)
         return self.partition(
-            csr, new_num_partitions, initial_labels=initial, track_history=track_history
+            csr, new_num_partitions, initial_labels=labels, track_history=track_history
         )
 
     # ------------------------------------------------------------------
@@ -143,8 +213,9 @@ class FastSpinner:
     def _to_csr(self, graph: GraphLike) -> CSRGraph:
         if isinstance(graph, CSRGraph):
             return graph
-        undirected = ensure_undirected(graph, self.config.direction_aware)
-        return CSRGraph.from_undirected(undirected)
+        if isinstance(graph, DiGraph):
+            return to_weighted_csr(graph, self.config.direction_aware)
+        return CSRGraph.from_undirected(graph)
 
     def _resolve_initial_labels(
         self,
@@ -157,14 +228,10 @@ class FastSpinner:
             rng = np.random.default_rng(self.config.seed)
             return rng.integers(num_partitions, size=n).astype(np.int64)
         if isinstance(initial_labels, Mapping):
-            labels = np.empty(n, dtype=np.int64)
-            try:
-                for dense, original in enumerate(csr.original_ids):
-                    labels[dense] = initial_labels[int(original)]
-            except KeyError as exc:
-                raise PartitioningError(
-                    f"initial labels miss vertex {exc.args[0]!r}"
-                ) from None
+            labels, found = map_assignment_to_dense(csr, initial_labels, num_partitions)
+            if not found.all():
+                vertex = int(csr.original_ids[np.argmax(~found)])
+                raise PartitioningError(f"initial labels miss vertex {vertex!r}")
         else:
             labels = np.asarray(initial_labels, dtype=np.int64).copy()
             if labels.shape[0] != n:
@@ -182,12 +249,24 @@ class FastSpinner:
         labels: np.ndarray,
         track_history: bool,
     ) -> FastSpinnerResult:
+        if self.config.kernel == "dense":
+            return self._run_dense(csr, num_partitions, labels, track_history)
+        return self._run_frontier(csr, num_partitions, labels, track_history)
+
+    def _run_dense(
+        self,
+        csr: CSRGraph,
+        num_partitions: int,
+        labels: np.ndarray,
+        track_history: bool,
+    ) -> FastSpinnerResult:
+        """Reference kernel: full ``np.add.at`` histogram rebuild per iteration."""
         config = self.config
         rng = np.random.default_rng(config.seed)
         n = csr.num_vertices
         sources, targets, weights = csr.edge_array()
         weights_f = weights.astype(np.float64)
-        degrees = csr.weighted_degrees.astype(np.float64)
+        degrees = csr.weighted_degrees_f
         safe_degrees = np.where(degrees > 0, degrees, 1.0)
         total_load = float(degrees.sum())
         capacity = config.capacity(total_load, num_partitions) if total_load else 1.0
@@ -285,7 +364,254 @@ class FastSpinner:
                 halted_by = "steady_state"
                 break
 
-        # Final quality metrics.
+        return self._finalize(
+            csr, num_partitions, labels, sources, targets, weights_f, degrees,
+            total_load, iterations_run, history, halted_by, total_messages,
+        )
+
+    def _run_frontier(
+        self,
+        csr: CSRGraph,
+        num_partitions: int,
+        labels: np.ndarray,
+        track_history: bool,
+    ) -> FastSpinnerResult:
+        """Incremental kernel: frontier-sized delta updates between full passes.
+
+        See the module docstring ("Performance architecture") for the
+        invariants; every arithmetic step mirrors :meth:`_run_dense`
+        bit-for-bit, so both kernels return identical results for the
+        same seed.  Scoring streams the histogram once per iteration in
+        L2-sized row blocks instead of materializing the full
+        ``(n, k)`` score matrix — this kernel is memory-bandwidth bound,
+        and the blocked pass keeps the divide/penalty/argmax traffic in
+        cache.
+        """
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        n = csr.num_vertices
+        k = num_partitions
+        indptr = csr.indptr
+        sources, targets, weights = csr.edge_array()
+        weights_f = weights.astype(np.float64)
+        degrees = csr.weighted_degrees_f
+        safe_degrees = np.where(degrees > 0, degrees, 1.0)
+        total_load = float(degrees.sum())
+        capacity = config.capacity(total_load, k) if total_load else 1.0
+        vertex_degrees = np.diff(indptr)
+        source_keys = sources * k
+
+        tracker = HaltingTracker(threshold=config.halt_threshold, window=config.halt_window)
+        history: list[IterationRecord] = []
+        halted_by = "max_iterations"
+        total_messages = int(targets.shape[0])
+
+        # Histogram entries are bounded by the weighted degree, so they
+        # normally fit int32 — half the memory traffic of float64 on the
+        # bandwidth-bound scoring pass, while int -> float64 conversion
+        # stays exact (so scores match the dense kernel bit-for-bit).
+        max_degree = int(csr.weighted_degrees.max()) if n else 0
+        hist_dtype = np.int32 if max_degree < np.iinfo(np.int32).max else np.float64
+        weights_h = weights.astype(hist_dtype)
+
+        # Persistent kernel state (see module docstring).
+        label_weight: np.ndarray | None = None  # (n, k) histogram
+        q = np.empty((n, k), dtype=np.float64)  # divide cache: histogram / degree
+        # A delta pays for two composite keys per frontier half-edge; fall
+        # back to the single full-pass bincount before that exceeds 2m keys.
+        rebuild_volume = max(targets.shape[0] // 2, 1)
+        # (migrant ids, their pre-migration labels) awaiting folding in.
+        pending: tuple[np.ndarray, np.ndarray] | None = None
+
+        # Blocked scoring state: ~1 MiB score buffer so each block stays
+        # resident in L2 across divide / penalty / bias / argmax.
+        block_rows = max(1, min(n, 131072 // max(k, 1)))
+        block_scores = np.empty((block_rows, k), dtype=np.float64)
+        block_range = np.arange(block_rows)
+        best = np.empty(n, dtype=np.int64)
+        best_scores = np.empty(n, dtype=np.float64)
+        current_scores = np.empty(n, dtype=np.float64)
+
+        iterations_run = 0
+        for iteration in range(config.max_iterations):
+            iterations_run = iteration + 1
+
+            # --- maintain the histogram and its divide cache -----------
+            refresh_full = False
+            if label_weight is None:
+                # Full pass: composite-key reduction over all half-edges.
+                label_weight = (
+                    np.bincount(
+                        source_keys + labels[targets],
+                        weights=weights_f,
+                        minlength=n * k,
+                    )
+                    .astype(hist_dtype, copy=False)
+                    .reshape(n, k)
+                )
+                refresh_full = True
+            elif pending is not None:
+                migrants, old_labels = pending
+                frontier = vertex_degrees[migrants]
+                volume = int(frontier.sum())
+                if volume:
+                    offsets = np.cumsum(frontier) - frontier
+                    positions = np.arange(volume, dtype=np.int64) + np.repeat(
+                        indptr[migrants] - offsets, frontier
+                    )
+                    neighbours = targets[positions]
+                    neighbour_keys = neighbours * k
+                    moved_weights = weights_h[positions]
+                    # Scatter-add only the 2 * volume histogram entries
+                    # that actually change: (neighbour, old) loses the
+                    # edge weight, (neighbour, new) gains it.  Unbuffered
+                    # np.add.at is slow per element but the element count
+                    # here is the frontier volume, not m.
+                    np.add.at(
+                        label_weight.reshape(-1),
+                        np.concatenate(
+                            [
+                                neighbour_keys + np.repeat(old_labels, frontier),
+                                neighbour_keys + np.repeat(labels[migrants], frontier),
+                            ]
+                        ),
+                        np.concatenate([-moved_weights, moved_weights]),
+                    )
+                    # Refresh the divide cache for the touched rows only;
+                    # if most rows changed, a streaming per-block refresh
+                    # is cheaper than the scattered row update.
+                    touched = np.zeros(n, dtype=bool)
+                    touched[neighbours] = True
+                    rows = np.flatnonzero(touched)
+                    if rows.shape[0] > n // 4:
+                        refresh_full = True
+                    else:
+                        q[rows] = label_weight[rows] / safe_degrees[rows, None]
+            pending = None
+
+            # --- ComputeScores (blocked) -------------------------------
+            loads = np.bincount(labels, weights=degrees, minlength=k).astype(np.float64)
+            if config.balance_penalty and capacity > 0:
+                penalties = loads / capacity
+            else:
+                penalties = np.zeros(k, dtype=np.float64)
+
+            for start in range(0, n, block_rows):
+                stop = min(start + block_rows, n)
+                rows_in_block = stop - start
+                scores = block_scores[:rows_in_block]
+                if refresh_full:
+                    np.divide(
+                        label_weight[start:stop],
+                        safe_degrees[start:stop, None],
+                        out=q[start:stop],
+                    )
+                np.subtract(q[start:stop], penalties[None, :], out=scores)
+                block_index = block_range[:rows_in_block]
+                block_labels = labels[start:stop]
+                current = scores[block_index, block_labels]
+                current_scores[start:stop] = current
+                block_best = np.argmax(scores, axis=1)
+                if config.prefer_current_label:
+                    # Branchless equivalent of biasing the current label by
+                    # 1e-9 before the argmax: the current label wins when
+                    # its biased score beats the row maximum, and on an
+                    # exact biased tie the smaller index wins (argmax
+                    # takes the first maximum).
+                    row_max = scores[block_index, block_best]
+                    biased_current = current + 1e-9
+                    block_best = np.where(
+                        biased_current > row_max,
+                        block_labels,
+                        np.where(
+                            biased_current == row_max,
+                            np.minimum(block_best, block_labels),
+                            block_best,
+                        ),
+                    )
+                best[start:stop] = block_best
+                best_scores[start:stop] = scores[block_index, block_best]
+
+            is_candidate = (best != labels) & (best_scores > current_scores + 1e-12)
+
+            # --- ComputeMigrations --------------------------------------
+            if is_candidate.any():
+                candidate_load = np.bincount(
+                    best[is_candidate], weights=degrees[is_candidate], minlength=k
+                ).astype(np.float64)
+                remaining = capacity - loads
+                if config.probabilistic_migration:
+                    with np.errstate(divide="ignore", invalid="ignore"):
+                        probabilities = np.where(
+                            candidate_load > 0,
+                            np.clip(remaining, 0.0, None) / candidate_load,
+                            1.0,
+                        )
+                    probabilities = np.clip(probabilities, 0.0, 1.0)
+                else:
+                    probabilities = np.ones(k, dtype=np.float64)
+                draws = rng.random(n)
+                migrate = is_candidate & (draws < probabilities[best])
+            else:
+                migrate = np.zeros(n, dtype=bool)
+
+            migrations = int(migrate.sum())
+            if migrations:
+                migrants = np.flatnonzero(migrate)
+                old_labels = labels[migrants].copy()
+                labels[migrants] = best[migrants]
+                frontier_volume = int(vertex_degrees[migrants].sum())
+                total_messages += frontier_volume
+                if 2 * frontier_volume >= rebuild_volume:
+                    label_weight = None  # next iteration does a full pass
+                else:
+                    pending = (migrants, old_labels)
+
+            # --- bookkeeping & halting ----------------------------------
+            score_value = float(current_scores.sum())
+            if track_history:
+                local_weight = float(
+                    weights_f[labels[sources] == labels[targets]].sum()
+                )
+                phi = local_weight / total_load if total_load else 1.0
+                post_loads = np.bincount(labels, weights=degrees, minlength=k)
+                ideal = total_load / k
+                rho = float(post_loads.max() / ideal) if total_load else 1.0
+                history.append(
+                    IterationRecord(
+                        iteration=iteration,
+                        phi=phi,
+                        rho=rho,
+                        score=score_value,
+                        migrations=migrations,
+                    )
+                )
+
+            if tracker.update(score_value):
+                halted_by = "steady_state"
+                break
+
+        return self._finalize(
+            csr, num_partitions, labels, sources, targets, weights_f, degrees,
+            total_load, iterations_run, history, halted_by, total_messages,
+        )
+
+    def _finalize(
+        self,
+        csr: CSRGraph,
+        num_partitions: int,
+        labels: np.ndarray,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        weights_f: np.ndarray,
+        degrees: np.ndarray,
+        total_load: float,
+        iterations_run: int,
+        history: list[IterationRecord],
+        halted_by: str,
+        total_messages: int,
+    ) -> FastSpinnerResult:
+        """Final quality metrics, shared by both kernels."""
         local_weight = float(weights_f[labels[sources] == labels[targets]].sum())
         phi = local_weight / total_load if total_load else 1.0
         final_loads = np.bincount(labels, weights=degrees, minlength=num_partitions)

@@ -8,13 +8,28 @@ not violated before the first iteration.
 
 This module produces that initial assignment; the iterative adaptation
 itself is the normal Spinner run seeded with it.
+
+Two families of entry points exist: the dict-based ones
+(:func:`incremental_initial_assignment`) used by the Pregel
+implementation, and array-native ones
+(:func:`incremental_initial_labels`, :func:`map_assignment_to_dense`,
+:func:`place_least_loaded`) that operate directly on a
+:class:`~repro.graph.csr.CSRGraph` so the vectorized
+:class:`~repro.core.fast.FastSpinner` never round-trips through
+dictionaries.  Both apply the same placement rule; they only differ in
+the order equally heavy new vertices are considered (sorted vertex id
+vs. graph insertion order), which coincides for graphs materialized
+from a CSR view.
 """
 
 from __future__ import annotations
 
 from collections.abc import Mapping
 
-from repro.core.state import PartitionLoadTracker, validate_labels
+import numpy as np
+
+from repro.core.state import PartitionLoadTracker, validate_label_array, validate_labels
+from repro.graph.csr import CSRGraph
 from repro.graph.undirected import UndirectedGraph
 
 
@@ -60,6 +75,87 @@ def incremental_initial_assignment(
         assignment[vertex] = label
         tracker.add(label, weights[vertex])
     return assignment
+
+
+def map_assignment_to_dense(
+    csr: CSRGraph,
+    assignment: Mapping[int, int],
+    num_partitions: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Map an original-id assignment onto dense CSR vertex ids.
+
+    Returns ``(labels, found)``: ``labels[dense]`` holds the previous
+    label for vertices covered by ``assignment`` and ``-1`` elsewhere;
+    ``found`` is the corresponding boolean mask.  Assignment entries for
+    vertices that no longer exist in the graph are ignored, but all label
+    values are validated (matching :func:`validate_labels` on the dict
+    path).
+    """
+    count = len(assignment)
+    keys = np.fromiter(assignment.keys(), dtype=np.int64, count=count)
+    values = np.fromiter(assignment.values(), dtype=np.int64, count=count)
+    validate_label_array(values, num_partitions)
+    n = csr.num_vertices
+    labels = np.full(n, -1, dtype=np.int64)
+    found = np.zeros(n, dtype=bool)
+    if count and n:
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        sorted_values = values[order]
+        pos = np.minimum(np.searchsorted(sorted_keys, csr.original_ids), count - 1)
+        found = sorted_keys[pos] == csr.original_ids
+        labels[found] = sorted_values[pos[found]]
+    return labels, found
+
+
+def place_least_loaded(
+    labels: np.ndarray,
+    missing: np.ndarray,
+    weighted_degrees: np.ndarray,
+    num_partitions: int,
+) -> None:
+    """Greedily place unlabeled vertices on the least loaded partition.
+
+    ``labels`` is updated in place where ``missing`` is set.  Heavier
+    vertices are placed first (with dense-id order breaking ties between
+    equal degrees), and ties between equally loaded partitions go to the
+    lowest partition id — the dict-based initializer's rule, except that
+    it considers equally heavy new vertices in graph insertion order
+    rather than dense-id order.
+    """
+    new_idx = np.flatnonzero(missing)
+    if new_idx.size == 0:
+        return
+    degrees_f = weighted_degrees.astype(np.float64)
+    loads = np.bincount(
+        labels[~missing], weights=degrees_f[~missing], minlength=num_partitions
+    ).astype(np.float64)
+    order = new_idx[np.argsort(-weighted_degrees[new_idx], kind="stable")]
+    order_degrees = degrees_f[order]
+    for position, vertex in enumerate(order.tolist()):
+        label = int(np.argmin(loads))
+        labels[vertex] = label
+        loads[label] += order_degrees[position]
+
+
+def incremental_initial_labels(
+    csr: CSRGraph,
+    previous_assignment: Mapping[int, int],
+    num_partitions: int,
+) -> np.ndarray:
+    """Array-native :func:`incremental_initial_assignment` over a CSR graph.
+
+    Returns a dense label array aligned with the CSR vertex order:
+    vertices covered by ``previous_assignment`` keep their label, new
+    vertices go to the least loaded partition (heaviest first).  Matches
+    the dict-based path whenever the graph's iteration order is the
+    sorted vertex id order (always true for ``csr.to_undirected()``
+    round-trips); load sums are exact integer-valued floats, so
+    accumulation order cannot introduce drift.
+    """
+    labels, found = map_assignment_to_dense(csr, previous_assignment, num_partitions)
+    place_least_loaded(labels, ~found, csr.weighted_degrees, num_partitions)
+    return labels
 
 
 def affected_vertices(

@@ -14,6 +14,9 @@ on the original directed graph.
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro.graph.csr import CSRGraph, build_csr_arrays
 from repro.graph.digraph import DiGraph
 from repro.graph.undirected import UndirectedGraph
 
@@ -83,6 +86,48 @@ def undirected_view_unweighted(graph: DiGraph) -> UndirectedGraph:
             continue
         undirected.add_edge(source, target, weight=SINGLE_DIRECTION_WEIGHT)
     return undirected
+
+
+def to_weighted_csr(graph: DiGraph, direction_aware: bool = True) -> CSRGraph:
+    """Convert a directed graph straight to the weighted undirected CSR form.
+
+    Produces the same graph as ``CSRGraph.from_undirected`` applied to
+    :func:`to_weighted_undirected` (or to
+    :func:`undirected_view_unweighted` when ``direction_aware`` is
+    ``False``) without materializing the intermediate dictionary-based
+    :class:`UndirectedGraph`.  Reciprocal directed pairs are detected with
+    one composite-key ``np.unique`` over the densified edge list: each
+    unordered pair occurs once or twice, and that multiplicity *is* the
+    eq. (3) weight.  Self-loops are dropped, matching the dict-based
+    conversions.
+    """
+    n = graph.num_vertices
+    original_ids = np.fromiter(graph.vertices(), dtype=np.int64, count=n)
+    original_ids.sort()
+    pairs = [(s, t) for s, t in graph.edges() if s != t]
+    if not pairs:
+        empty = np.empty(0, dtype=np.int64)
+        return CSRGraph(np.zeros(n + 1, dtype=np.int64), empty, empty, original_ids)
+    arr = np.asarray(pairs, dtype=np.int64)
+    s = np.searchsorted(original_ids, arr[:, 0])
+    t = np.searchsorted(original_ids, arr[:, 1])
+    keys, counts = np.unique(
+        np.minimum(s, t) * np.int64(n) + np.maximum(s, t), return_counts=True
+    )
+    u = keys // n
+    v = keys % n
+    if direction_aware:
+        # DiGraph collapses parallel edges, so counts is 1 or 2 (eq. 3).
+        w = counts.astype(np.int64)
+    else:
+        w = np.ones(keys.shape[0], dtype=np.int64)
+    indptr, indices, weights = build_csr_arrays(
+        np.concatenate([u, v]),
+        np.concatenate([v, u]),
+        np.concatenate([w, w]),
+        n,
+    )
+    return CSRGraph(indptr, indices, weights, original_ids)
 
 
 def ensure_undirected(

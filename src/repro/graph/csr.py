@@ -27,6 +27,38 @@ from repro.errors import GraphError
 from repro.graph.undirected import UndirectedGraph
 
 
+def _segment_sums(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """Per-segment sums of ``values`` over CSR ``indptr`` segments.
+
+    ``np.add.reduceat`` mis-handles empty segments (it returns the element
+    at the segment start instead of 0), so the reduction runs over the
+    non-empty segment starts only: consecutive non-empty starts bound
+    exactly one original segment because the empty segments between them
+    contribute no elements.
+    """
+    n = indptr.shape[0] - 1
+    out = np.zeros(n, dtype=values.dtype)
+    if n == 0 or values.shape[0] == 0:
+        return out
+    nonempty = np.diff(indptr) > 0
+    if nonempty.any():
+        out[nonempty] = np.add.reduceat(values, indptr[:-1][nonempty])
+    return out
+
+
+def build_csr_arrays(
+    sources: np.ndarray,
+    targets: np.ndarray,
+    weights: np.ndarray,
+    num_vertices: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sort half-edges by source and return ``(indptr, indices, weights)``."""
+    order = np.argsort(sources, kind="stable")
+    indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.cumsum(np.bincount(sources, minlength=num_vertices), out=indptr[1:])
+    return indptr, targets[order], weights[order]
+
+
 class CSRGraph:
     """Immutable CSR representation of a weighted undirected graph."""
 
@@ -53,12 +85,10 @@ class CSRGraph:
         if self.original_ids.shape[0] != self.num_vertices:
             raise GraphError("original_ids must have one entry per vertex")
         # Weighted degree per vertex: the balance quantity of the paper.
-        sources = np.repeat(
-            np.arange(self.num_vertices, dtype=np.int64), np.diff(self.indptr)
-        )
-        self.weighted_degrees = np.bincount(
-            sources, weights=self.weights.astype(np.float64), minlength=self.num_vertices
-        ).astype(np.int64)
+        # Computed directly in int64 over the indptr segments (no float
+        # round-trip); the kernels use the cached float view below.
+        self.weighted_degrees = _segment_sums(self.weights, self.indptr)
+        self._weighted_degrees_f: np.ndarray | None = None
         # total_weight counts each undirected edge's weight once.
         self.total_weight = int(self.weights.sum() // 2)
 
@@ -67,6 +97,18 @@ class CSRGraph:
     def num_edges(self) -> int:
         """Number of undirected edges."""
         return self.indices.shape[0] // 2
+
+    @property
+    def weighted_degrees_f(self) -> np.ndarray:
+        """Cached ``float64`` view of :attr:`weighted_degrees`.
+
+        The label-propagation kernels divide by the weighted degree every
+        iteration; caching the float conversion keeps that off the hot
+        path.  Callers must not mutate the returned array.
+        """
+        if self._weighted_degrees_f is None:
+            self._weighted_degrees_f = self.weighted_degrees.astype(np.float64)
+        return self._weighted_degrees_f
 
     def neighbors(self, vertex: int) -> np.ndarray:
         """Return the neighbour ids of a (dense) vertex id."""
@@ -98,26 +140,28 @@ class CSRGraph:
     def from_undirected(cls, graph: UndirectedGraph) -> "CSRGraph":
         """Build a CSR view from an :class:`UndirectedGraph`.
 
-        Vertex ids are densified in sorted order of the original ids.
+        Vertex ids are densified in sorted order of the original ids.  The
+        only per-edge Python work is draining the edge iterator once; the
+        densification (``np.searchsorted`` against the sorted original
+        ids), mirroring and sorting all run vectorized.
         """
-        original_ids = np.array(sorted(graph.vertices()), dtype=np.int64)
-        dense_of = {int(original): dense for dense, original in enumerate(original_ids)}
-        n = original_ids.shape[0]
-        degrees = np.zeros(n, dtype=np.int64)
-        for original in original_ids:
-            degrees[dense_of[int(original)]] = graph.degree(int(original))
-        indptr = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(degrees, out=indptr[1:])
-        indices = np.zeros(indptr[-1], dtype=np.int64)
-        weights = np.zeros(indptr[-1], dtype=np.int64)
-        cursor = indptr[:-1].copy()
-        for original in original_ids:
-            u = dense_of[int(original)]
-            for neighbour, weight in graph.neighbors(int(original)).items():
-                position = cursor[u]
-                indices[position] = dense_of[neighbour]
-                weights[position] = weight
-                cursor[u] += 1
+        n = graph.num_vertices
+        original_ids = np.fromiter(graph.vertices(), dtype=np.int64, count=n)
+        original_ids.sort()
+        edge_rows = [(u, v, w) for u, v, w in graph.edges()]
+        if edge_rows:
+            triples = np.asarray(edge_rows, dtype=np.int64)
+        else:
+            triples = np.empty((0, 3), dtype=np.int64)
+        u = np.searchsorted(original_ids, triples[:, 0])
+        v = np.searchsorted(original_ids, triples[:, 1])
+        w = triples[:, 2]
+        indptr, indices, weights = build_csr_arrays(
+            np.concatenate([u, v]),
+            np.concatenate([v, u]),
+            np.concatenate([w, w]),
+            n,
+        )
         return cls(indptr, indices, weights, original_ids)
 
     @classmethod
@@ -144,29 +188,32 @@ class CSRGraph:
             weight_array = np.asarray(weights, dtype=np.int64)
             if weight_array.shape[0] != edge_array.shape[0]:
                 raise GraphError("weights must align with edges")
-        sources = np.concatenate([edge_array[:, 0], edge_array[:, 1]])
-        targets = np.concatenate([edge_array[:, 1], edge_array[:, 0]])
-        both_weights = np.concatenate([weight_array, weight_array])
-        order = np.argsort(sources, kind="stable")
-        sources = sources[order]
-        targets = targets[order]
-        both_weights = both_weights[order]
-        counts = np.bincount(sources, minlength=num_vertices)
-        indptr = np.zeros(num_vertices + 1, dtype=np.int64)
-        np.cumsum(counts, out=indptr[1:])
+        indptr, targets, both_weights = build_csr_arrays(
+            np.concatenate([edge_array[:, 0], edge_array[:, 1]]),
+            np.concatenate([edge_array[:, 1], edge_array[:, 0]]),
+            np.concatenate([weight_array, weight_array]),
+            num_vertices,
+        )
         return cls(indptr, targets, both_weights)
 
     def to_undirected(self) -> UndirectedGraph:
-        """Materialize back into an :class:`UndirectedGraph` (original ids)."""
+        """Materialize back into an :class:`UndirectedGraph` (original ids).
+
+        The forward half of every edge is selected and mapped back to
+        original ids in array form; only the dictionary inserts remain
+        per-edge Python work.
+        """
         graph = UndirectedGraph()
-        for dense in range(self.num_vertices):
-            graph.add_vertex(int(self.original_ids[dense]))
+        for original in self.original_ids.tolist():
+            graph.add_vertex(original)
         sources, targets, weights = self.edge_array()
-        for u, v, w in zip(sources, targets, weights):
-            if u < v:
-                graph.add_edge(
-                    int(self.original_ids[u]), int(self.original_ids[v]), weight=int(w)
-                )
+        forward = sources < targets
+        for u, v, w in zip(
+            self.original_ids[sources[forward]].tolist(),
+            self.original_ids[targets[forward]].tolist(),
+            self.weights[forward].tolist(),
+        ):
+            graph.add_edge(u, v, weight=w)
         return graph
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

@@ -10,13 +10,19 @@ from __future__ import annotations
 from repro.core.config import SpinnerConfig
 from repro.core.fast import FastSpinner
 from repro.core.spinner import SpinnerPartitioner
+from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
 from repro.graph.undirected import UndirectedGraph
 from repro.partitioners.base import Partitioner
 
 
 class SpinnerFastAdapter(Partitioner):
-    """Vectorized Spinner behind the common partitioner interface."""
+    """Vectorized Spinner behind the common partitioner interface.
+
+    Accepts CSR input directly so array-based callers skip the
+    dictionary-based graph conversion entirely; the kernel choice
+    (frontier vs. dense reference) follows ``config.kernel``.
+    """
 
     name = "spinner"
 
@@ -24,7 +30,7 @@ class SpinnerFastAdapter(Partitioner):
         self.config = config if config is not None else SpinnerConfig()
 
     def partition(
-        self, graph: UndirectedGraph | DiGraph, num_partitions: int
+        self, graph: UndirectedGraph | DiGraph | CSRGraph, num_partitions: int
     ) -> dict[int, int]:
         result = FastSpinner(self.config).partition(graph, num_partitions)
         return result.to_assignment()
