@@ -8,7 +8,16 @@ from __future__ import annotations
 
 from typing import Any
 
+import numpy as np
+
 from repro.pregel.program import ComputeContext, VertexProgram
+from repro.pregel.vector_engine import (
+    BatchComputeContext,
+    BatchStep,
+    BatchVertexProgram,
+    DeliveredMessages,
+    ShardedGraph,
+)
 from repro.pregel.vertex import Vertex
 
 
@@ -26,3 +35,26 @@ class DegreeCount(VertexProgram):
             return
         vertex.value = vertex.num_edges + sum(messages)
         vertex.vote_to_halt()
+
+
+class BatchDegreeCount(BatchVertexProgram):
+    """Array-native in+out degree counting for the vector engine."""
+
+    combine = "sum"
+
+    def compute_batch(
+        self,
+        shard: ShardedGraph,
+        messages: DeliveredMessages,
+        ctx: BatchComputeContext,
+    ) -> BatchStep:
+        if ctx.superstep == 0:
+            outbox = ctx.send_to_all_neighbors(
+                ctx.computed, np.ones(shard.num_vertices, dtype=np.float64)
+            )
+            votes = np.zeros(shard.num_vertices, dtype=bool)
+            return BatchStep(values=ctx.values, outbox=outbox, votes=votes)
+
+        values = np.where(ctx.computed, shard.degrees + messages.payload, ctx.values)
+        votes = np.ones(shard.num_vertices, dtype=bool)
+        return BatchStep(values=values, outbox=ctx.no_messages(), votes=votes)

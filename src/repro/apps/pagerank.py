@@ -9,8 +9,17 @@ from __future__ import annotations
 
 from typing import Any
 
+import numpy as np
+
 from repro.pregel.aggregators import AggregatorRegistry, DoubleSumAggregator
 from repro.pregel.program import ComputeContext, VertexProgram
+from repro.pregel.vector_engine import (
+    BatchComputeContext,
+    BatchStep,
+    BatchVertexProgram,
+    DeliveredMessages,
+    ShardedGraph,
+)
 from repro.pregel.vertex import Vertex
 
 #: Aggregator holding the sum of all PageRank values (sanity check: ~ |V|).
@@ -53,3 +62,49 @@ class PageRank(VertexProgram):
                 ctx.send_message_to_all_neighbors(vertex, share)
         else:
             vertex.vote_to_halt()
+
+
+class BatchPageRank(BatchVertexProgram):
+    """Array-native PageRank for the vector engine.
+
+    Same recurrence, aggregator and halting behaviour as :class:`PageRank`,
+    computed for all vertices of a shard at once; runs on the two engines
+    produce bit-identical values and aggregator histories.
+    """
+
+    combine = "sum"
+
+    # Shared with the per-vertex variant so parameter validation and
+    # aggregator registration cannot silently diverge between the two
+    # contractually bit-equivalent implementations.
+    __init__ = PageRank.__init__
+    register_aggregators = PageRank.register_aggregators
+
+    def compute_batch(
+        self,
+        shard: ShardedGraph,
+        messages: DeliveredMessages,
+        ctx: BatchComputeContext,
+    ) -> BatchStep:
+        computed = ctx.computed
+        if ctx.superstep == 0:
+            values = np.where(computed, 1.0, ctx.values)
+        else:
+            updated = (1.0 - self.damping) + self.damping * messages.payload
+            values = np.where(computed, updated, ctx.values)
+        ctx.aggregate_sequential(TOTAL_RANK_AGGREGATOR, values, computed)
+
+        if ctx.superstep < self.num_iterations:
+            senders = computed & (shard.degrees > 0)
+            shares = np.divide(
+                values,
+                shard.degrees,
+                out=np.zeros(shard.num_vertices, dtype=np.float64),
+                where=shard.degrees > 0,
+            )
+            outbox = ctx.send_to_all_neighbors(senders, shares)
+            votes = np.zeros(shard.num_vertices, dtype=bool)
+        else:
+            outbox = ctx.no_messages()
+            votes = np.ones(shard.num_vertices, dtype=bool)
+        return BatchStep(values=values, outbox=outbox, votes=votes)

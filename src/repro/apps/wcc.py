@@ -10,7 +10,16 @@ from __future__ import annotations
 
 from typing import Any
 
+import numpy as np
+
 from repro.pregel.program import ComputeContext, VertexProgram
+from repro.pregel.vector_engine import (
+    BatchComputeContext,
+    BatchStep,
+    BatchVertexProgram,
+    DeliveredMessages,
+    ShardedGraph,
+)
 from repro.pregel.vertex import Vertex
 
 
@@ -29,3 +38,31 @@ class WeaklyConnectedComponents(VertexProgram):
             vertex.value = smallest
             ctx.send_message_to_all_neighbors(vertex, vertex.value)
         vertex.vote_to_halt()
+
+
+class BatchWeaklyConnectedComponents(BatchVertexProgram):
+    """Array-native minimum-label propagation for the vector engine.
+
+    Component labels are the original vertex ids (carried as floats in the
+    dense value array), exactly like :class:`WeaklyConnectedComponents`.
+    """
+
+    combine = "min"
+
+    def compute_batch(
+        self,
+        shard: ShardedGraph,
+        messages: DeliveredMessages,
+        ctx: BatchComputeContext,
+    ) -> BatchStep:
+        votes = np.ones(shard.num_vertices, dtype=bool)
+        if ctx.superstep == 0:
+            values = shard.original_ids.astype(np.float64)
+            outbox = ctx.send_to_all_neighbors(ctx.computed, values)
+            return BatchStep(values=values, outbox=outbox, votes=votes)
+
+        smallest = np.where(messages.has_message, messages.payload, ctx.values)
+        improved = ctx.computed & (smallest < ctx.values)
+        values = np.where(improved, smallest, ctx.values)
+        outbox = ctx.send_to_all_neighbors(improved, values)
+        return BatchStep(values=values, outbox=outbox, votes=votes)

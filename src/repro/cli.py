@@ -36,19 +36,23 @@ from repro.graph.io import read_directed_edge_list, write_partitioning
 from repro.metrics.reporting import format_table
 from repro.partitioners.registry import available_partitioners, make_partitioner
 
+# The Pregel-engine-backed experiments honour --engine; the partitioning
+# experiments ignore it (the experiment command warns when that happens).
+_ENGINE_BACKED_EXPERIMENTS = frozenset({"table4", "fig9"})
+
 _EXPERIMENTS = {
-    "table1": lambda scale: table1.run_table1(scale=scale),
-    "table3": lambda scale: table3.run_table3(scale=scale),
-    "table4": lambda scale: table4.run_table4(scale=scale),
-    "fig3": lambda scale: fig3.run_fig3(scale=scale),
-    "fig4": lambda scale: fig4.run_fig4(scale=scale),
-    "fig5": lambda scale: fig5.run_fig5(scale=scale),
-    "fig6a": lambda scale: fig6.run_fig6a(scale=scale),
-    "fig6b": lambda scale: fig6.run_fig6b(scale=scale),
-    "fig6c": lambda scale: fig6.run_fig6c(scale=scale),
-    "fig7": lambda scale: fig7.run_fig7(scale=scale),
-    "fig8": lambda scale: fig8.run_fig8(scale=scale),
-    "fig9": lambda scale: fig9.run_fig9(scale=scale),
+    "table1": lambda scale, engine: table1.run_table1(scale=scale),
+    "table3": lambda scale, engine: table3.run_table3(scale=scale),
+    "table4": lambda scale, engine: table4.run_table4(scale=scale, engine=engine),
+    "fig3": lambda scale, engine: fig3.run_fig3(scale=scale),
+    "fig4": lambda scale, engine: fig4.run_fig4(scale=scale),
+    "fig5": lambda scale, engine: fig5.run_fig5(scale=scale),
+    "fig6a": lambda scale, engine: fig6.run_fig6a(scale=scale),
+    "fig6b": lambda scale, engine: fig6.run_fig6b(scale=scale),
+    "fig6c": lambda scale, engine: fig6.run_fig6c(scale=scale),
+    "fig7": lambda scale, engine: fig7.run_fig7(scale=scale),
+    "fig8": lambda scale, engine: fig8.run_fig8(scale=scale),
+    "fig9": lambda scale, engine: fig9.run_fig9(scale=scale, engine=engine),
 }
 
 
@@ -103,6 +107,14 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
     experiment.add_argument("--scale", type=float, default=0.25)
     experiment.add_argument("--seed", type=int, default=7)
+    experiment.add_argument(
+        "--engine",
+        choices=("dict", "vector"),
+        default="dict",
+        help="Pregel runtime for engine-backed experiments (table4, fig9): "
+        "'dict' is the per-vertex reference engine, 'vector' the "
+        "array-native sharded engine",
+    )
 
     return parser
 
@@ -150,8 +162,14 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.engine != "dict" and args.name not in _ENGINE_BACKED_EXPERIMENTS:
+        print(
+            f"note: experiment {args.name!r} does not run on a Pregel engine; "
+            f"--engine {args.engine} has no effect",
+            file=sys.stderr,
+        )
     scale = ExperimentScale(graph_scale=args.scale, seed=args.seed)
-    rows = _EXPERIMENTS[args.name](scale)
+    rows = _EXPERIMENTS[args.name](scale, args.engine)
     print(format_table(rows, title=f"Experiment {args.name}"))
     return 0
 

@@ -14,9 +14,7 @@ locality) and less idling at the synchronization barrier (better balance).
 
 from __future__ import annotations
 
-from repro.apps.pagerank import PageRank
-from repro.apps.sssp import ShortestPaths
-from repro.apps.wcc import WeaklyConnectedComponents
+from repro.apps import make_app_program
 from repro.core.fast import FastSpinner
 from repro.experiments.common import ExperimentScale, spinner_config, undirected_dataset
 from repro.experiments.giraph import run_application
@@ -27,13 +25,13 @@ FIG9_WORKLOADS = (("LJ", 8), ("TU", 8), ("TW", 16))
 FIG9_APPLICATIONS = ("SP", "PR", "CC")
 
 
-def _make_program(app: str, source: int):
+def _make_program(app: str, source: int, engine: str = "dict"):
     if app == "SP":
-        return ShortestPaths(source=source)
+        return make_app_program("sssp", engine, source=source)
     if app == "PR":
-        return PageRank(num_iterations=10)
+        return make_app_program("pagerank", engine, num_iterations=10)
     if app == "CC":
-        return WeaklyConnectedComponents()
+        return make_app_program("wcc", engine)
     raise ValueError(f"unknown application {app!r}")
 
 
@@ -41,8 +39,12 @@ def run_fig9(
     workloads: tuple[tuple[str, int], ...] = FIG9_WORKLOADS,
     applications: tuple[str, ...] = FIG9_APPLICATIONS,
     scale: ExperimentScale | None = None,
+    engine: str = "dict",
 ) -> list[dict]:
-    """Return one row per (application, dataset) with the runtime improvement."""
+    """Return one row per (application, dataset) with the runtime improvement.
+
+    ``engine`` selects the Pregel runtime (``"dict"`` or ``"vector"``).
+    """
     scale = scale or ExperimentScale.default()
     rows: list[dict] = []
     for dataset, num_partitions in workloads:
@@ -54,13 +56,17 @@ def run_fig9(
         source = next(iter(graph.vertices()))
         for app in applications:
             hash_run = run_application(
-                _make_program(app, source), graph, num_workers=num_partitions
+                _make_program(app, source, engine),
+                graph,
+                num_workers=num_partitions,
+                engine=engine,
             )
             spinner_run = run_application(
-                _make_program(app, source),
+                _make_program(app, source, engine),
                 graph,
                 num_workers=num_partitions,
                 assignment=assignment,
+                engine=engine,
             )
             rows.append(
                 {

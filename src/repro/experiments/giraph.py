@@ -19,11 +19,17 @@ from __future__ import annotations
 from collections.abc import Mapping
 from dataclasses import dataclass
 
+from repro.errors import PregelError
 from repro.graph.digraph import DiGraph
 from repro.graph.undirected import UndirectedGraph
 from repro.pregel.cost_model import ClusterCostModel, RunStats
 from repro.pregel.engine import PregelEngine, PregelResult
 from repro.pregel.program import VertexProgram
+from repro.pregel.vector_engine import (
+    BatchVertexProgram,
+    VectorPregelEngine,
+    VectorPregelResult,
+)
 from repro.pregel.worker import hash_placement, partition_placement
 
 
@@ -32,7 +38,7 @@ class ApplicationRun:
     """Result of one application run under one placement."""
 
     placement: str
-    result: PregelResult
+    result: PregelResult | VectorPregelResult
     cost_model: ClusterCostModel
 
     @property
@@ -66,17 +72,21 @@ class ApplicationRun:
 
 
 def run_application(
-    program: VertexProgram,
+    program: VertexProgram | BatchVertexProgram,
     graph: UndirectedGraph | DiGraph,
     num_workers: int,
     assignment: Mapping[int, int] | None = None,
     cost_model: ClusterCostModel | None = None,
     max_supersteps: int = 200,
+    engine: str = "dict",
 ) -> ApplicationRun:
     """Run ``program`` on ``graph`` with hash or Spinner-driven placement.
 
     ``assignment`` is a Spinner partitioning; when omitted the default hash
-    placement is used.
+    placement is used.  ``engine`` selects the runtime: ``"dict"`` executes
+    a per-vertex :class:`VertexProgram` on :class:`PregelEngine`,
+    ``"vector"`` executes a :class:`BatchVertexProgram` on the array-native
+    :class:`VectorPregelEngine`; both report the same statistics.
     """
     cost_model = cost_model or ClusterCostModel()
     if assignment is None:
@@ -85,14 +95,28 @@ def run_application(
     else:
         placement = partition_placement(dict(assignment), num_workers)
         placement_name = "spinner"
-    engine = PregelEngine(
-        num_workers=num_workers,
-        placement=placement,
-        cost_model=cost_model,
-        max_supersteps=max_supersteps,
-    )
-    if isinstance(graph, DiGraph):
-        result = engine.run_on_digraph(program, graph)
+    if engine == "dict":
+        if not isinstance(program, VertexProgram):
+            raise PregelError("the dict engine requires a VertexProgram")
+        runtime: PregelEngine | VectorPregelEngine = PregelEngine(
+            num_workers=num_workers,
+            placement=placement,
+            cost_model=cost_model,
+            max_supersteps=max_supersteps,
+        )
+    elif engine == "vector":
+        if not isinstance(program, BatchVertexProgram):
+            raise PregelError("the vector engine requires a BatchVertexProgram")
+        runtime = VectorPregelEngine(
+            num_workers=num_workers,
+            placement=placement,
+            cost_model=cost_model,
+            max_supersteps=max_supersteps,
+        )
     else:
-        result = engine.run_on_undirected(program, graph)
+        raise PregelError(f"unknown engine {engine!r} (expected 'dict' or 'vector')")
+    if isinstance(graph, DiGraph):
+        result = runtime.run_on_digraph(program, graph)
+    else:
+        result = runtime.run_on_undirected(program, graph)
     return ApplicationRun(placement=placement_name, result=result, cost_model=cost_model)

@@ -16,6 +16,14 @@ faithful single-process simulation of that model:
 * a **cost model** (:mod:`repro.pregel.cost_model`) that charges local and
   remote messages differently and derives a simulated superstep time as the
   maximum over workers — the quantity behind Table IV and Figure 9.
+
+Two runtimes execute this model: the dictionary engine
+(:class:`~repro.pregel.engine.PregelEngine`, one Python ``compute`` call
+per vertex per superstep) and the array-native sharded vector engine
+(:class:`~repro.pregel.vector_engine.VectorPregelEngine`, one batch
+compute per superstep over NumPy arrays) — same semantics, same
+statistics, different program interface and orders of magnitude apart in
+throughput.
 """
 
 from repro.pregel.aggregators import (
@@ -29,20 +37,38 @@ from repro.pregel.cost_model import ClusterCostModel, SuperstepStats
 from repro.pregel.engine import PregelEngine, PregelResult
 from repro.pregel.master import MasterCompute
 from repro.pregel.program import ComputeContext, VertexProgram
+from repro.pregel.vector_engine import (
+    BatchComputeContext,
+    BatchStep,
+    BatchVertexProgram,
+    DeliveredMessages,
+    Outbox,
+    ShardedGraph,
+    VectorPregelEngine,
+    VectorPregelResult,
+)
 from repro.pregel.vertex import Vertex
 
 __all__ = [
     "AggregatorRegistry",
+    "BatchComputeContext",
+    "BatchStep",
+    "BatchVertexProgram",
     "ClusterCostModel",
     "ComputeContext",
+    "DeliveredMessages",
     "DoubleSumAggregator",
     "LongSumAggregator",
     "MasterCompute",
     "MaxAggregator",
     "MinAggregator",
+    "Outbox",
     "PregelEngine",
     "PregelResult",
+    "ShardedGraph",
     "SuperstepStats",
+    "VectorPregelEngine",
+    "VectorPregelResult",
     "Vertex",
     "VertexProgram",
 ]

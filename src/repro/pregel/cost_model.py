@@ -122,6 +122,10 @@ class RunStats:
     """Aggregated statistics of a whole Pregel run."""
 
     superstep_stats: list[SuperstepStats] = field(default_factory=list)
+    #: Messages addressed to nonexistent vertex ids that the engine dropped
+    #: (only ever non-zero when the engine runs with ``drop_unknown_targets``;
+    #: by default such messages raise :class:`~repro.errors.PregelError`).
+    messages_dropped: int = 0
 
     @property
     def num_supersteps(self) -> int:

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import PregelError
+from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
 from repro.graph.undirected import UndirectedGraph
 from repro.pregel.aggregators import AggregatorRegistry
@@ -74,6 +75,12 @@ class PregelEngine:
         Optional message combiner applied to all messages.
     max_supersteps:
         Safety bound on the number of supersteps.
+    drop_unknown_targets:
+        Messages addressed to vertex ids that do not exist in the graph
+        raise :class:`~repro.errors.PregelError` by default (Giraph would
+        resolve or create the target vertex; silently losing the message is
+        a routing bug).  Set this to ``True`` to drop such messages instead;
+        the number dropped is surfaced as ``RunStats.messages_dropped``.
     """
 
     def __init__(
@@ -83,6 +90,7 @@ class PregelEngine:
         cost_model: ClusterCostModel | None = None,
         combiner: MessageCombiner | None = None,
         max_supersteps: int = 500,
+        drop_unknown_targets: bool = False,
     ) -> None:
         if num_workers <= 0:
             raise PregelError("num_workers must be positive")
@@ -93,6 +101,7 @@ class PregelEngine:
         self.cost_model = cost_model if cost_model is not None else ClusterCostModel()
         self.combiner = combiner
         self.max_supersteps = max_supersteps
+        self.drop_unknown_targets = drop_unknown_targets
 
     # ------------------------------------------------------------------
     # graph loading
@@ -137,6 +146,29 @@ class PregelEngine:
             value_vu = edge_value(v, u, weight) if edge_value else weight
             vertices[u].add_edge(v, value_uv)
             vertices[v].add_edge(u, value_vu)
+        return vertices
+
+    @staticmethod
+    def vertices_from_csr(csr: "CSRGraph") -> dict[int, Vertex]:
+        """Build Pregel vertices from a :class:`~repro.graph.csr.CSRGraph`.
+
+        Vertices are keyed by their *original* ids, iterated in dense-id
+        order, and each adjacency slot becomes one outgoing edge valued with
+        its CSR weight — the exact layout the vectorized engine uses, which
+        makes runs over the two representations comparable slot for slot.
+        Parallel adjacency entries collapse (``Vertex.edges`` is a dict).
+        """
+        vertices: dict[int, Vertex] = {}
+        indptr = csr.indptr
+        indices = csr.indices.tolist()
+        weights = csr.weights.tolist()
+        original = csr.original_ids.tolist()
+        for dense in range(csr.num_vertices):
+            start, end = int(indptr[dense]), int(indptr[dense + 1])
+            vertex = Vertex(original[dense])
+            for slot in range(start, end):
+                vertex.add_edge(original[indices[slot]], weights[slot])
+            vertices[original[dense]] = vertex
         return vertices
 
     # ------------------------------------------------------------------
@@ -185,17 +217,27 @@ class PregelEngine:
 
             outgoing = MessageStore(self.combiner)
             superstep_stat = SuperstepStats(superstep=superstep)
+            # Raw sends to nonexistent targets this superstep; counted at
+            # send time so the dropped total is per-message even when an
+            # eager combiner collapses the stored boxes.
+            unknown_sends = [0]
 
             for worker in workers:
                 worker_stat = WorkerStats()
+                # Giraph WorkerContext lifecycle: the shared store only
+                # carries state within one superstep (see Worker docstring).
+                worker.shared_store.clear()
                 program.pre_superstep(superstep, worker.shared_store, aggregators)
 
                 def on_send(target: int, _worker_id: int = worker.worker_id,
                             _stat: WorkerStats = worker_stat) -> None:
-                    if worker_of.get(target, -1) == _worker_id:
+                    target_worker = worker_of.get(target, -1)
+                    if target_worker == _worker_id:
                         _stat.local_messages_sent += 1
                     else:
                         _stat.remote_messages_sent += 1
+                        if target_worker == -1:
+                            unknown_sends[0] += 1
 
                 def send(target: int, message: Any,
                          _on_send: Callable[[int], None] = on_send,
@@ -226,6 +268,22 @@ class PregelEngine:
 
                 program.post_superstep(superstep, worker.shared_store, aggregators)
                 superstep_stat.worker_stats.append(worker_stat)
+
+            # on_send counted every send whose target is absent from
+            # worker_of, so the common all-known superstep skips the
+            # target-set scan entirely.
+            if unknown_sends[0]:
+                unknown_targets = [t for t in outgoing.targets() if t not in worker_of]
+                if not self.drop_unknown_targets:
+                    preview = sorted(unknown_targets)[:5]
+                    raise PregelError(
+                        f"messages sent to {len(unknown_targets)} nonexistent "
+                        f"vertex id(s) during superstep {superstep} "
+                        f"(e.g. {preview}); pass drop_unknown_targets=True "
+                        "to drop them instead"
+                    )
+                outgoing.drop_targets(unknown_targets)
+                run_stats.messages_dropped += unknown_sends[0]
 
             run_stats.superstep_stats.append(superstep_stat)
             aggregators.advance_superstep()

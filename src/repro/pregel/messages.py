@@ -10,6 +10,7 @@ reductions (sum, min, ...).
 from __future__ import annotations
 
 from collections import defaultdict
+from collections.abc import Iterable
 from typing import Any, Callable
 
 
@@ -60,6 +61,16 @@ class MessageStore:
     def targets(self) -> set[int]:
         """Vertices that will receive at least one message."""
         return set(self._messages)
+
+    def drop_targets(self, targets: Iterable[int]) -> None:
+        """Discard all messages addressed to ``targets``.
+
+        Used by the engine to drop messages sent to vertex ids that do not
+        exist in the graph (it counts the dropped sends itself, at send
+        time, so the count stays per-message even with a combiner).
+        """
+        for target in targets:
+            self._messages.pop(target, None)
 
     def messages_for(self, target: int) -> list[Any]:
         """Messages addressed to ``target`` (empty list when none)."""

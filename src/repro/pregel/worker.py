@@ -20,11 +20,20 @@ PlacementFn = Callable[[int], int]
 
 
 def hash_placement(num_workers: int) -> PlacementFn:
-    """Default Giraph-style placement: ``worker = hash(vertex) mod workers``."""
+    """Default Giraph-style placement: ``worker = vertex_id mod workers``.
+
+    Vertex ids must be non-negative (the graph classes enforce the same
+    invariant); a negative id raises :class:`~repro.errors.PregelError`
+    instead of silently relying on Python's modulo semantics.
+    """
     if num_workers <= 0:
         raise PregelError("num_workers must be positive")
 
     def place(vertex_id: int) -> int:
+        if vertex_id < 0:
+            raise PregelError(
+                f"vertex ids must be non-negative, got {vertex_id}"
+            )
         return vertex_id % num_workers
 
     return place
@@ -62,9 +71,10 @@ class Worker:
         The vertices placed on this worker.
     shared_store:
         A mutable dictionary shared by all vertices of the worker within a
-        superstep.  The engine clears it at the start of every superstep
-        after calling the program's ``pre_superstep`` hook, which mirrors
-        Giraph's ``WorkerContext`` lifecycle.
+        superstep.  The engine clears it at the start of every superstep,
+        before calling the program's ``pre_superstep`` hook, which mirrors
+        Giraph's ``WorkerContext`` lifecycle: state that must survive a
+        superstep boundary belongs in aggregators or vertex values.
     """
 
     def __init__(self, worker_id: int) -> None:

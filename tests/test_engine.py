@@ -132,3 +132,67 @@ def test_aggregator_history_recorded():
     result = engine.run_on_undirected(PageRank(num_iterations=3), graph)
     history = result.aggregator_history[TOTAL_RANK_AGGREGATOR]
     assert len(history) == result.num_supersteps
+
+
+class StoreProbe(VertexProgram):
+    """Writes a worker-store key only in superstep 0, reads it afterwards."""
+
+    def __init__(self):
+        self.leaked_values = []
+
+    def compute(self, vertex, messages, ctx):
+        if ctx.superstep == 0:
+            ctx.worker_store["superstep0_marker"] = vertex.vertex_id
+            ctx.send_message(vertex.vertex_id, 1)
+        else:
+            self.leaked_values.append(ctx.worker_store.get("superstep0_marker"))
+            vertex.vote_to_halt()
+
+
+def test_shared_store_cleared_before_every_superstep():
+    # Regression: the engine never cleared Worker.shared_store, so state
+    # written in superstep 0 leaked into every later superstep.
+    graph = UndirectedGraph.from_edges([(0, 1), (1, 2)])
+    program = StoreProbe()
+    PregelEngine(num_workers=2).run_on_undirected(program, graph)
+    assert program.leaked_values  # superstep 1 ran
+    assert program.leaked_values == [None] * len(program.leaked_values)
+
+
+class Misroute(VertexProgram):
+    """Sends a message to a vertex id that does not exist."""
+
+    def compute(self, vertex, messages, ctx):
+        if ctx.superstep == 0:
+            ctx.send_message(999, "lost")
+        vertex.vote_to_halt()
+
+
+def test_unknown_message_target_raises_by_default():
+    graph = UndirectedGraph.from_edges([(0, 1)])
+    engine = PregelEngine(num_workers=2)
+    with pytest.raises(PregelError, match="nonexistent"):
+        engine.run_on_undirected(Misroute(), graph)
+
+
+def test_unknown_message_target_dropped_when_opted_in():
+    # Regression: silently-kept unknown-target messages defeated the
+    # incoming.is_empty() convergence check, costing an extra superstep.
+    graph = UndirectedGraph.from_edges([(0, 1)])
+    engine = PregelEngine(num_workers=2, drop_unknown_targets=True)
+    result = engine.run_on_undirected(Misroute(), graph)
+    assert result.stats.messages_dropped == 2  # one per vertex
+    assert result.num_supersteps == 1  # no phantom superstep
+    assert result.halt_reason == "converged"
+    # Unknown targets still count as remote traffic at send time.
+    assert result.stats.remote_messages == 2
+
+
+def test_known_targets_unaffected_by_drop_option():
+    graph = UndirectedGraph.from_edges([(0, 1)])
+    strict = PregelEngine(num_workers=2)
+    lenient = PregelEngine(num_workers=2, drop_unknown_targets=True)
+    result_strict = strict.run_on_undirected(DegreeCount(), graph)
+    result_lenient = lenient.run_on_undirected(DegreeCount(), graph)
+    assert result_strict.vertex_values() == result_lenient.vertex_values()
+    assert result_lenient.stats.messages_dropped == 0

@@ -20,6 +20,12 @@ def test_hash_placement_rejects_zero_workers():
         hash_placement(0)
 
 
+def test_hash_placement_rejects_negative_vertex_ids():
+    place = hash_placement(4)
+    with pytest.raises(PregelError, match="non-negative"):
+        place(-1)
+
+
 def test_partition_placement_uses_assignment():
     place = partition_placement({0: 2, 1: 2, 2: 0}, num_workers=3)
     assert place(0) == 2
