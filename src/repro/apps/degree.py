@@ -30,6 +30,7 @@ class DegreeCount(VertexProgram):
     """
 
     def compute(self, vertex: Vertex, messages: list[Any], ctx: ComputeContext) -> None:
+        """Send one unit along every out-edge, then sum in+out degree and halt."""
         if ctx.superstep == 0:
             ctx.send_message_to_all_neighbors(vertex, 1)
             return
@@ -48,6 +49,7 @@ class BatchDegreeCount(BatchVertexProgram):
         messages: DeliveredMessages,
         ctx: BatchComputeContext,
     ) -> BatchStep:
+        """Whole-shard counterpart of :meth:`DegreeCount.compute`."""
         if ctx.superstep == 0:
             outbox = ctx.send_to_all_neighbors(
                 ctx.computed, np.ones(shard.num_vertices, dtype=np.float64)

@@ -46,9 +46,11 @@ class PageRank(VertexProgram):
         self.damping = damping
 
     def register_aggregators(self, aggregators: AggregatorRegistry) -> None:
+        """Register the total-rank sanity aggregator."""
         aggregators.register(TOTAL_RANK_AGGREGATOR, DoubleSumAggregator())
 
     def compute(self, vertex: Vertex, messages: list[Any], ctx: ComputeContext) -> None:
+        """One PageRank power-iteration step for a single vertex."""
         if ctx.superstep == 0:
             vertex.value = 1.0
         else:
@@ -86,6 +88,7 @@ class BatchPageRank(BatchVertexProgram):
         messages: DeliveredMessages,
         ctx: BatchComputeContext,
     ) -> BatchStep:
+        """Whole-shard counterpart of :meth:`PageRank.compute`."""
         computed = ctx.computed
         if ctx.superstep == 0:
             values = np.where(computed, 1.0, ctx.values)

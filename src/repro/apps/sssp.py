@@ -42,6 +42,7 @@ class ShortestPaths(VertexProgram):
         self.use_edge_weights = use_edge_weights
 
     def compute(self, vertex: Vertex, messages: list[Any], ctx: ComputeContext) -> None:
+        """Relax the vertex distance from incoming messages and propagate."""
         if ctx.superstep == 0:
             vertex.value = 0.0 if vertex.vertex_id == self.source else math.inf
 
@@ -79,6 +80,7 @@ class BatchShortestPaths(BatchVertexProgram):
         messages: DeliveredMessages,
         ctx: BatchComputeContext,
     ) -> BatchStep:
+        """Whole-shard counterpart of :meth:`ShortestPaths.compute`."""
         num_vertices = shard.num_vertices
         is_source_start = np.zeros(num_vertices, dtype=bool)
         if ctx.superstep == 0:

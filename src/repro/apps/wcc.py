@@ -27,6 +27,7 @@ class WeaklyConnectedComponents(VertexProgram):
     """Minimum-label propagation for connected components."""
 
     def compute(self, vertex: Vertex, messages: list[Any], ctx: ComputeContext) -> None:
+        """Adopt the smallest component label seen and propagate changes."""
         if ctx.superstep == 0:
             vertex.value = vertex.vertex_id
             ctx.send_message_to_all_neighbors(vertex, vertex.value)
@@ -55,6 +56,7 @@ class BatchWeaklyConnectedComponents(BatchVertexProgram):
         messages: DeliveredMessages,
         ctx: BatchComputeContext,
     ) -> BatchStep:
+        """Whole-shard counterpart of :meth:`WeaklyConnectedComponents.compute`."""
         votes = np.ones(shard.num_vertices, dtype=bool)
         if ctx.superstep == 0:
             values = shard.original_ids.astype(np.float64)

@@ -34,25 +34,47 @@ from repro.experiments.common import ExperimentScale
 from repro.graph.datasets import dataset_names, load_dataset
 from repro.graph.io import read_directed_edge_list, write_partitioning
 from repro.metrics.reporting import format_table
-from repro.partitioners.registry import available_partitioners, make_partitioner
+from repro.partitioners.registry import (
+    SPINNER_PARTITIONERS,
+    available_partitioners,
+    make_partitioner,
+)
 
-# The Pregel-engine-backed experiments honour --engine; the partitioning
-# experiments ignore it (the experiment command warns when that happens).
-_ENGINE_BACKED_EXPERIMENTS = frozenset({"table4", "fig9"})
+# Experiments that honour --engine; the remaining partitioning experiments
+# ignore it (the experiment command warns when that happens).
+_ENGINE_BACKED_EXPERIMENTS = frozenset({"table4", "fig9", "fig6b", "fig7", "fig8"})
+
+
+def _pregel_engine(engine: str | None) -> str:
+    """Resolve --engine for experiments that only run on a Pregel runtime."""
+    if engine in (None, "dict"):
+        return "dict"
+    if engine == "vector":
+        return "vector"
+    raise SystemExit(
+        f"--engine {engine} is not a Pregel runtime; use 'dict' or 'vector'"
+    )
+
 
 _EXPERIMENTS = {
     "table1": lambda scale, engine: table1.run_table1(scale=scale),
     "table3": lambda scale, engine: table3.run_table3(scale=scale),
-    "table4": lambda scale, engine: table4.run_table4(scale=scale, engine=engine),
+    "table4": lambda scale, engine: table4.run_table4(
+        scale=scale, engine=_pregel_engine(engine)
+    ),
     "fig3": lambda scale, engine: fig3.run_fig3(scale=scale),
     "fig4": lambda scale, engine: fig4.run_fig4(scale=scale),
     "fig5": lambda scale, engine: fig5.run_fig5(scale=scale),
     "fig6a": lambda scale, engine: fig6.run_fig6a(scale=scale),
-    "fig6b": lambda scale, engine: fig6.run_fig6b(scale=scale),
+    "fig6b": lambda scale, engine: fig6.run_fig6b(
+        scale=scale, engine=_pregel_engine(engine)
+    ),
     "fig6c": lambda scale, engine: fig6.run_fig6c(scale=scale),
-    "fig7": lambda scale, engine: fig7.run_fig7(scale=scale),
-    "fig8": lambda scale, engine: fig8.run_fig8(scale=scale),
-    "fig9": lambda scale, engine: fig9.run_fig9(scale=scale, engine=engine),
+    "fig7": lambda scale, engine: fig7.run_fig7(scale=scale, engine=engine or "fast"),
+    "fig8": lambda scale, engine: fig8.run_fig8(scale=scale, engine=engine or "fast"),
+    "fig9": lambda scale, engine: fig9.run_fig9(
+        scale=scale, engine=_pregel_engine(engine)
+    ),
 }
 
 
@@ -109,11 +131,14 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--seed", type=int, default=7)
     experiment.add_argument(
         "--engine",
-        choices=("dict", "vector"),
-        default="dict",
-        help="Pregel runtime for engine-backed experiments (table4, fig9): "
-        "'dict' is the per-vertex reference engine, 'vector' the "
-        "array-native sharded engine",
+        choices=("fast", "dict", "vector"),
+        default=None,
+        help="Spinner/Pregel runtime for engine-backed experiments "
+        "(table4, fig9, fig6b, fig7, fig8): 'dict' is the per-vertex "
+        "reference Pregel engine, 'vector' the array-native sharded "
+        "engine (bit-exact with 'dict'), and 'fast' the vectorized "
+        "FastSpinner kernels (fig7/fig8 only, their default). "
+        "Defaults to each experiment's own default runtime",
     )
 
     return parser
@@ -121,7 +146,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_partition(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
-    if args.partitioner in ("spinner", "spinner-pregel"):
+    if args.partitioner in SPINNER_PARTITIONERS:
         partitioner = make_partitioner(args.partitioner, config=SpinnerConfig(seed=args.seed))
     else:
         partitioner = make_partitioner(args.partitioner)
@@ -149,7 +174,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     rows = []
     for name in args.partitioners:
-        if name in ("spinner", "spinner-pregel"):
+        if name in SPINNER_PARTITIONERS:
             partitioner = make_partitioner(name, config=SpinnerConfig())
         else:
             partitioner = make_partitioner(name)
@@ -162,7 +187,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    if args.engine != "dict" and args.name not in _ENGINE_BACKED_EXPERIMENTS:
+    if args.engine is not None and args.name not in _ENGINE_BACKED_EXPERIMENTS:
         print(
             f"note: experiment {args.name!r} does not run on a Pregel engine; "
             f"--engine {args.engine} has no effect",

@@ -6,7 +6,12 @@ Two interchangeable implementations of the same algorithm are provided:
   implementation, organized in the supersteps described in Section IV of
   the paper (NeighborPropagation, NeighborDiscovery, Initialize,
   ComputeScores, ComputeMigrations) and executed on the simulated Giraph
-  engine of :mod:`repro.pregel`.
+  engine of :mod:`repro.pregel`.  It runs on either Pregel runtime:
+  the per-vertex dictionary engine (``engine="dict"``, via
+  :class:`repro.core.program.SpinnerProgram`) or the array-native vector
+  engine (``engine="vector"``, via
+  :class:`repro.core.batch_program.BatchSpinnerProgram`) — the two are
+  bit-exact for the same seed.
 * :class:`repro.core.fast.FastSpinner` — a vectorized NumPy implementation
   of the identical iteration (same score function, penalty, probabilistic
   migration and halting heuristic) used for large parameter sweeps.
@@ -16,14 +21,17 @@ carrying per-iteration quality history, so any experiment can swap one for
 the other.
 """
 
+from repro.core.batch_program import BatchSpinnerProgram, build_spinner_shard
 from repro.core.config import SpinnerConfig
 from repro.core.fast import FastSpinner, FastSpinnerResult
 from repro.core.spinner import SpinnerPartitioner, SpinnerResult
 
 __all__ = [
+    "BatchSpinnerProgram",
     "FastSpinner",
     "FastSpinnerResult",
     "SpinnerConfig",
     "SpinnerPartitioner",
     "SpinnerResult",
+    "build_spinner_shard",
 ]

@@ -103,8 +103,14 @@ LOCAL_WEIGHT_AGGREGATOR = "spinner_local_weight"
 MIGRATIONS_AGGREGATOR = "spinner_migrations"
 
 
-class SpinnerProgram(VertexProgram):
-    """Vertex-centric implementation of Spinner.
+class SpinnerPhaseSchedule:
+    """Superstep bookkeeping shared by both Spinner vertex programs.
+
+    Maps superstep indices onto the phases of Figure 2 (optionally offset
+    by the two directed-conversion supersteps), so the per-vertex
+    :class:`SpinnerProgram` and the array-native
+    :class:`~repro.core.batch_program.BatchSpinnerProgram` execute the
+    identical schedule and share :class:`SpinnerMasterCompute`.
 
     Parameters
     ----------
@@ -157,6 +163,7 @@ class SpinnerProgram(VertexProgram):
     # aggregators
     # ------------------------------------------------------------------
     def register_aggregators(self, aggregators: AggregatorRegistry) -> None:
+        """Register the per-partition load/candidate and global aggregators."""
         for label in range(self.num_partitions):
             aggregators.register(load_aggregator_name(label), DoubleSumAggregator())
             aggregators.register(candidate_aggregator_name(label), DoubleSumAggregator())
@@ -164,20 +171,36 @@ class SpinnerProgram(VertexProgram):
         aggregators.register(LOCAL_WEIGHT_AGGREGATOR, DoubleSumAggregator())
         aggregators.register(MIGRATIONS_AGGREGATOR, LongSumAggregator())
 
+
+class SpinnerProgram(SpinnerPhaseSchedule, VertexProgram):
+    """Vertex-centric (per-vertex ``compute``) implementation of Spinner.
+
+    Runs on the dictionary engine
+    (:class:`~repro.pregel.engine.PregelEngine`); the array-native
+    counterpart is
+    :class:`~repro.core.batch_program.BatchSpinnerProgram`, which is
+    bit-exact with this program for the same seed.  Constructor
+    parameters are documented on :class:`SpinnerPhaseSchedule`.
+    """
+
     def pre_superstep(
         self,
         superstep: int,
         worker_store: dict[str, Any],
         aggregators: AggregatorRegistry,
     ) -> None:
-        # Reset the per-worker asynchronous load deltas at the start of each
-        # superstep; they only carry information within one superstep.
+        """Reset the per-worker asynchronous load deltas (Section IV-A4).
+
+        The deltas only carry information within one superstep, so they
+        are cleared before every superstep begins.
+        """
         worker_store[WORKER_LOAD_DELTA_KEY] = {}
 
     # ------------------------------------------------------------------
     # compute
     # ------------------------------------------------------------------
     def compute(self, vertex: Vertex, messages: list[Any], ctx: ComputeContext) -> None:
+        """Dispatch the vertex to the current phase's handler (Figure 2)."""
         phase = self.phase(ctx.superstep)
         if phase == NEIGHBOR_PROPAGATION:
             self._neighbor_propagation(vertex, ctx)
@@ -312,7 +335,7 @@ class SpinnerMasterCompute(MasterCompute):
     iterations (or ``max_iterations`` is reached).
     """
 
-    def __init__(self, program: SpinnerProgram) -> None:
+    def __init__(self, program: SpinnerPhaseSchedule) -> None:
         super().__init__()
         self.program = program
         self.config = program.config
@@ -323,6 +346,7 @@ class SpinnerMasterCompute(MasterCompute):
         self._pending_migrations = 0
 
     def compute(self, superstep: int, aggregators: AggregatorRegistry) -> None:
+        """Record iteration quality after each ComputeScores superstep and halt on steady state."""
         if superstep == 0:
             return
         previous_phase = self.program.phase(superstep - 1)

@@ -20,6 +20,12 @@ import numpy as np
 
 from repro.core.config import SpinnerConfig
 
+#: Absolute tolerance under which two label scores count as tied in
+#: :func:`choose_label`.  The batch program
+#: (:mod:`repro.core.batch_program`) replays the same scan with the same
+#: constant; change it here and both implementations stay bit-equal.
+TIE_EPSILON = 1e-12
+
 
 def label_frequencies(
     neighbour_labels: Sequence[tuple[int | None, float]],
@@ -81,10 +87,10 @@ def choose_label(
         if label == current_label:
             continue
         score = label_score(label, frequencies, weighted_degree, loads, capacity, config)
-        if score > best_score + 1e-12:
+        if score > best_score + TIE_EPSILON:
             best_label = label
             best_score = score
-        elif not config.prefer_current_label and abs(score - best_score) <= 1e-12:
+        elif not config.prefer_current_label and abs(score - best_score) <= TIE_EPSILON:
             # Deterministic tie-break towards the smallest label index.
             if label < best_label:
                 best_label = label

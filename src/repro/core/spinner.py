@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.batch_program import BatchSpinnerProgram, build_spinner_shard
 from repro.core.config import SpinnerConfig
 from repro.core.elastic import resize_assignment
 from repro.core.incremental import incremental_initial_assignment
@@ -25,13 +26,15 @@ from repro.core.program import (
     SpinnerProgram,
     SpinnerVertexValue,
 )
-from repro.errors import InvalidPartitionCountError, PartitioningError
+from repro.errors import ConfigurationError, InvalidPartitionCountError, PartitioningError
 from repro.graph.conversion import ensure_undirected
 from repro.graph.digraph import DiGraph
 from repro.graph.undirected import UndirectedGraph
 from repro.metrics.quality import locality, max_normalized_load
 from repro.pregel.cost_model import ClusterCostModel
 from repro.pregel.engine import PregelEngine, PregelResult
+from repro.pregel.vector_engine import VectorPregelEngine, VectorPregelResult
+from repro.pregel.worker import PlacementFn
 
 
 @dataclass
@@ -53,7 +56,11 @@ class SpinnerResult:
         Final locality and balance of the partitioning.
     pregel_result:
         The underlying Pregel run (superstep statistics, aggregators),
-        used by the cost-savings experiments.
+        used by the cost-savings experiments.  A
+        :class:`~repro.pregel.engine.PregelResult` for the dictionary
+        engine, a
+        :class:`~repro.pregel.vector_engine.VectorPregelResult` for the
+        vector engine; both expose the same statistics surface.
     """
 
     assignment: dict[int, int]
@@ -62,7 +69,7 @@ class SpinnerResult:
     history: list[IterationRecord] = field(default_factory=list)
     phi: float = 0.0
     rho: float = 1.0
-    pregel_result: PregelResult | None = None
+    pregel_result: PregelResult | VectorPregelResult | None = None
 
     @property
     def total_messages(self) -> int:
@@ -89,6 +96,15 @@ class SpinnerPartitioner:
         Number of simulated workers executing the partitioning itself.
     cost_model:
         Cost model used when reporting simulated times.
+    engine:
+        Pregel runtime: ``"dict"`` (per-vertex reference) or ``"vector"``
+        (array-native sharded).  Defaults to ``config.engine``.  Both
+        runtimes are bit-exact for the same seed — assignments, superstep
+        counts, aggregator histories, per-worker statistics and halt
+        reasons coincide.
+    placement:
+        Optional vertex-to-worker placement function shared by both
+        runtimes; defaults to Giraph-style hash placement.
     """
 
     name = "spinner"
@@ -98,10 +114,18 @@ class SpinnerPartitioner:
         config: SpinnerConfig | None = None,
         num_workers: int = 4,
         cost_model: ClusterCostModel | None = None,
+        engine: str | None = None,
+        placement: PlacementFn | None = None,
     ) -> None:
         self.config = config if config is not None else SpinnerConfig()
         self.num_workers = num_workers
         self.cost_model = cost_model if cost_model is not None else ClusterCostModel()
+        self.engine = engine if engine is not None else self.config.engine
+        if self.engine not in ("dict", "vector"):
+            raise ConfigurationError(
+                f"engine must be 'dict' or 'vector', got {self.engine!r}"
+            )
+        self.placement = placement
 
     # ------------------------------------------------------------------
     # public API
@@ -190,6 +214,34 @@ class SpinnerPartitioner:
         num_partitions: int,
         initial_assignment: dict[int, int],
     ) -> SpinnerResult:
+        if self.engine == "vector":
+            assignment, master, pregel_result = self._run_vector(
+                graph, num_partitions, initial_assignment
+            )
+        else:
+            assignment, master, pregel_result = self._run_dict(
+                graph, num_partitions, initial_assignment
+            )
+        undirected = ensure_undirected(graph, self.config.direction_aware)
+        phi = locality(undirected, assignment)
+        rho = max_normalized_load(undirected, assignment, num_partitions)
+        return SpinnerResult(
+            assignment=assignment,
+            num_partitions=num_partitions,
+            iterations=len(master.history),
+            history=master.history,
+            phi=phi,
+            rho=rho,
+            pregel_result=pregel_result,
+        )
+
+    def _run_dict(
+        self,
+        graph: DiGraph | UndirectedGraph,
+        num_partitions: int,
+        initial_assignment: dict[int, int],
+    ) -> tuple[dict[int, int], SpinnerMasterCompute, PregelResult]:
+        """Execute on the per-vertex dictionary engine."""
         convert_directed = isinstance(graph, DiGraph)
         program = SpinnerProgram(
             num_partitions=num_partitions,
@@ -199,6 +251,7 @@ class SpinnerPartitioner:
         master = SpinnerMasterCompute(program)
         engine = PregelEngine(
             num_workers=self.num_workers,
+            placement=self.placement,
             cost_model=self.cost_model,
             max_supersteps=program.superstep_bound(),
         )
@@ -218,19 +271,39 @@ class SpinnerPartitioner:
             )
 
         pregel_result = engine.run(program, vertices, master=master)
-
         assignment = {
             vertex_id: vertex.value.label for vertex_id, vertex in vertices.items()
         }
-        undirected = ensure_undirected(graph, self.config.direction_aware)
-        phi = locality(undirected, assignment)
-        rho = max_normalized_load(undirected, assignment, num_partitions)
-        return SpinnerResult(
-            assignment=assignment,
+        return assignment, master, pregel_result
+
+    def _run_vector(
+        self,
+        graph: DiGraph | UndirectedGraph,
+        num_partitions: int,
+        initial_assignment: dict[int, int],
+    ) -> tuple[dict[int, int], SpinnerMasterCompute, VectorPregelResult]:
+        """Execute on the array-native sharded vector engine."""
+        convert_directed = isinstance(graph, DiGraph)
+        program = BatchSpinnerProgram(
             num_partitions=num_partitions,
-            iterations=len(master.history),
-            history=master.history,
-            phi=phi,
-            rho=rho,
-            pregel_result=pregel_result,
+            config=self.config,
+            convert_directed=convert_directed,
         )
+        master = SpinnerMasterCompute(program)
+        engine = VectorPregelEngine(
+            num_workers=self.num_workers,
+            placement=self.placement,
+            cost_model=self.cost_model,
+            max_supersteps=program.superstep_bound(),
+        )
+        spinner_shard = build_spinner_shard(engine, graph)
+        original_ids = spinner_shard.shard.original_ids.tolist()
+        initial_labels = np.fromiter(
+            (initial_assignment[vertex] for vertex in original_ids),
+            dtype=np.int64,
+            count=len(original_ids),
+        )
+        program.bind(spinner_shard, initial_labels)
+        pregel_result = engine.run(program, spinner_shard.shard, master=master)
+        assignment = dict(zip(original_ids, program.labels.tolist()))
+        return assignment, master, pregel_result

@@ -17,8 +17,7 @@ what determines time and network traffic on the real cluster.
 
 from __future__ import annotations
 
-from repro.core.fast import FastSpinner
-from repro.experiments.common import ExperimentScale, spinner_config
+from repro.experiments.common import ExperimentScale, SpinnerRunner, spinner_config
 from repro.graph.datasets import tuenti_proxy
 from repro.graph.dynamic import EdgeArrivalStream
 from repro.metrics.reporting import improvement_percentage
@@ -31,16 +30,22 @@ def run_fig7(
     change_fractions: tuple[float, ...] = FIG7_CHANGE_FRACTIONS,
     num_partitions: int = 16,
     scale: ExperimentScale | None = None,
+    engine: str = "fast",
 ) -> list[dict]:
-    """Return one row per change fraction with savings and stability."""
+    """Return one row per change fraction with savings and stability.
+
+    ``engine`` selects the Spinner runtime for every run in the sweep:
+    ``"fast"`` (default, vectorized kernels), ``"dict"`` or ``"vector"``
+    (the two Pregel runtimes, via ``--engine`` on the CLI).
+    """
     scale = scale or ExperimentScale.default()
     full_graph = tuenti_proxy(scale=scale.graph_scale, seed=scale.seed)
     stream = EdgeArrivalStream(full_graph, holdout_fraction=0.35, seed=scale.seed)
     snapshot = stream.snapshot()
 
     config = spinner_config(scale.seed)
-    spinner = FastSpinner(config)
-    initial = spinner.partition(snapshot, num_partitions, track_history=False)
+    spinner = SpinnerRunner(engine, config)
+    initial = spinner.partition(snapshot, num_partitions)
     initial_assignment = initial.to_assignment()
 
     rows: list[dict] = []
@@ -51,11 +56,11 @@ def run_fig7(
         delta.apply(changed)
 
         adaptive = spinner.adapt_to_graph_changes(
-            changed, initial_assignment, num_partitions, track_history=False
+            changed, initial_assignment, num_partitions
         )
-        scratch = FastSpinner(config.with_options(seed=config.seed + 1)).partition(
-            changed, num_partitions, track_history=False
-        )
+        scratch = SpinnerRunner(
+            engine, config.with_options(seed=config.seed + 1)
+        ).partition(changed, num_partitions)
 
         adaptive_assignment = adaptive.to_assignment()
         scratch_assignment = scratch.to_assignment()

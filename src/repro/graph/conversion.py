@@ -88,6 +88,29 @@ def undirected_view_unweighted(graph: DiGraph) -> UndirectedGraph:
     return undirected
 
 
+def directed_pair_weights(
+    num_vertices: int, sources: np.ndarray, targets: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Eq. (3) weights of a dense directed edge list, one row per pair.
+
+    ``sources``/``targets`` hold dense (``0..num_vertices-1``) endpoint
+    ids of directed edges with no self-loops and no parallel duplicates.
+    Returns ``(u, v, weight)`` with ``u <= v``: each unordered pair
+    connected in either direction appears once, and its multiplicity in
+    the input — 1 (single direction) or 2 (reciprocal pair) — *is* the
+    eq. (3) weight.  Detected with one composite-key ``np.unique`` pass;
+    shared by :func:`to_weighted_csr` and the batch Spinner's shard
+    builder (:mod:`repro.core.batch_program`) so the encoding lives in
+    exactly one place.
+    """
+    n = np.int64(num_vertices)
+    keys, counts = np.unique(
+        np.minimum(sources, targets) * n + np.maximum(sources, targets),
+        return_counts=True,
+    )
+    return keys // n, keys % n, counts.astype(np.int64)
+
+
 def to_weighted_csr(graph: DiGraph, direction_aware: bool = True) -> CSRGraph:
     """Convert a directed graph straight to the weighted undirected CSR form.
 
@@ -111,16 +134,10 @@ def to_weighted_csr(graph: DiGraph, direction_aware: bool = True) -> CSRGraph:
     arr = np.asarray(pairs, dtype=np.int64)
     s = np.searchsorted(original_ids, arr[:, 0])
     t = np.searchsorted(original_ids, arr[:, 1])
-    keys, counts = np.unique(
-        np.minimum(s, t) * np.int64(n) + np.maximum(s, t), return_counts=True
-    )
-    u = keys // n
-    v = keys % n
-    if direction_aware:
-        # DiGraph collapses parallel edges, so counts is 1 or 2 (eq. 3).
-        w = counts.astype(np.int64)
-    else:
-        w = np.ones(keys.shape[0], dtype=np.int64)
+    # DiGraph collapses parallel edges, so the multiplicity is 1 or 2 (eq. 3).
+    u, v, w = directed_pair_weights(n, s, t)
+    if not direction_aware:
+        w = np.ones(u.shape[0], dtype=np.int64)
     indptr, indices, weights = build_csr_arrays(
         np.concatenate([u, v]),
         np.concatenate([v, u]),

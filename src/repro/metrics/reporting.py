@@ -36,6 +36,7 @@ def format_table(
         columns = list(rows[0].keys())
 
     def render(value: Any) -> str:
+        """Render the table as aligned plain-text lines."""
         if isinstance(value, float):
             return float_format.format(value)
         if value is None:

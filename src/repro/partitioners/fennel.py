@@ -48,6 +48,7 @@ class FennelPartitioner(Partitioner):
     def partition(
         self, graph: UndirectedGraph | DiGraph, num_partitions: int
     ) -> dict[int, int]:
+        """Stream vertices through the Fennel objective and return the assignment."""
         undirected = ensure_undirected(graph)
         n = undirected.num_vertices
         if n == 0:

@@ -35,6 +35,7 @@ class HashPartitioner(Partitioner):
     def partition(
         self, graph: UndirectedGraph | DiGraph, num_partitions: int
     ) -> dict[int, int]:
+        """Assign every vertex to ``hash(vertex) mod k``."""
         return {vertex: _mix(vertex) % num_partitions for vertex in graph.vertices()}
 
 
@@ -46,4 +47,5 @@ class ModuloPartitioner(Partitioner):
     def partition(
         self, graph: UndirectedGraph | DiGraph, num_partitions: int
     ) -> dict[int, int]:
+        """Assign every vertex to ``vertex mod k``."""
         return {vertex: vertex % num_partitions for vertex in graph.vertices()}

@@ -82,6 +82,7 @@ class LinearDeterministicGreedy(Partitioner):
     def partition(
         self, graph: UndirectedGraph | DiGraph, num_partitions: int
     ) -> dict[int, int]:
+        """Stream vertices through the LDG greedy rule and return the assignment."""
         undirected = ensure_undirected(graph)
         n = undirected.num_vertices
         if n == 0:

@@ -85,6 +85,7 @@ class MetisLikePartitioner(Partitioner):
     def partition(
         self, graph: UndirectedGraph | DiGraph, num_partitions: int
     ) -> dict[int, int]:
+        """Coarsen, partition the coarsest graph and refine back (multilevel)."""
         undirected = ensure_undirected(graph)
         if undirected.num_vertices == 0:
             return {}

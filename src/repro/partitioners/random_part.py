@@ -25,6 +25,7 @@ class RandomPartitioner(Partitioner):
     def partition(
         self, graph: UndirectedGraph | DiGraph, num_partitions: int
     ) -> dict[int, int]:
+        """Assign every vertex to a uniformly random partition."""
         rng = np.random.default_rng(self.seed)
         vertices = list(graph.vertices())
         labels = rng.integers(num_partitions, size=len(vertices))

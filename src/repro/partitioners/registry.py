@@ -1,7 +1,35 @@
 """Registry of partitioners by name.
 
 The CLI and the experiment harness look partitioners up by the short names
-used in the paper's tables.
+used in the paper's tables:
+
+``hash`` / ``modulo``
+    Giraph's default placement baselines (Section V-B): ``hash(v) mod k``
+    respectively ``v mod k``.
+``random``
+    Uniformly random assignment (Spinner's own initialization state).
+``ldg``
+    Linear Deterministic Greedy streaming heuristic (Stanton & Kliot).
+``fennel``
+    The Fennel streaming objective (Tsourakakis et al.).
+``metis``
+    Multilevel coarsen/partition/refine in the spirit of METIS.
+``wang``
+    LPA-coarsening + METIS of Wang et al. (balances vertices, not edges).
+``spinner``
+    FastSpinner (vectorized kernels; ``SpinnerConfig.kernel`` selects
+    ``"frontier"`` or ``"dense"``).
+``spinner-pregel``
+    Spinner as a Pregel computation; the runtime follows
+    ``SpinnerConfig.engine`` (``"dict"`` by default) or an explicit
+    ``engine=`` keyword.
+``spinner-pregel-vector``
+    Same computation pinned to the array-native vector engine
+    (bit-exact with ``spinner-pregel``, orders of magnitude faster).
+
+The three Spinner entries accept a ``config=SpinnerConfig(...)`` keyword
+(paper defaults: ``c = 1.05``, ``epsilon = 0.001``, ``w = 5``); all
+factories forward their keyword arguments to the constructor.
 """
 
 from __future__ import annotations
@@ -18,6 +46,11 @@ from repro.partitioners.random_part import RandomPartitioner
 from repro.partitioners.spinner_adapter import SpinnerFastAdapter, SpinnerPregelAdapter
 from repro.partitioners.wang import WangPartitioner
 
+def _spinner_pregel_vector(**kwargs) -> SpinnerPregelAdapter:
+    """Pregel Spinner pinned to the array-native vector runtime."""
+    return SpinnerPregelAdapter(engine="vector", **kwargs)
+
+
 _FACTORIES: dict[str, Callable[..., Partitioner]] = {
     "hash": HashPartitioner,
     "modulo": ModuloPartitioner,
@@ -28,7 +61,11 @@ _FACTORIES: dict[str, Callable[..., Partitioner]] = {
     "wang": WangPartitioner,
     "spinner": SpinnerFastAdapter,
     "spinner-pregel": SpinnerPregelAdapter,
+    "spinner-pregel-vector": _spinner_pregel_vector,
 }
+
+#: Registry names that accept a ``config=SpinnerConfig(...)`` keyword.
+SPINNER_PARTITIONERS = frozenset({"spinner", "spinner-pregel", "spinner-pregel-vector"})
 
 
 def available_partitioners() -> list[str]:

@@ -32,23 +32,37 @@ class SpinnerFastAdapter(Partitioner):
     def partition(
         self, graph: UndirectedGraph | DiGraph | CSRGraph, num_partitions: int
     ) -> dict[int, int]:
+        """Run FastSpinner and return its ``{vertex: partition}`` assignment."""
         result = FastSpinner(self.config).partition(graph, num_partitions)
         return result.to_assignment()
 
 
 class SpinnerPregelAdapter(Partitioner):
-    """Pregel-based Spinner behind the common partitioner interface."""
+    """Pregel-based Spinner behind the common partitioner interface.
+
+    The ``engine`` argument selects the runtime — ``"dict"`` for the
+    per-vertex reference engine, ``"vector"`` for the array-native
+    sharded engine (bit-exact, much faster) — and defaults to
+    ``config.engine``.
+    """
 
     name = "spinner-pregel"
 
     def __init__(
-        self, config: SpinnerConfig | None = None, num_workers: int = 4
+        self,
+        config: SpinnerConfig | None = None,
+        num_workers: int = 4,
+        engine: str | None = None,
     ) -> None:
         self.config = config if config is not None else SpinnerConfig()
         self.num_workers = num_workers
+        self.engine = engine if engine is not None else self.config.engine
 
     def partition(
         self, graph: UndirectedGraph | DiGraph, num_partitions: int
     ) -> dict[int, int]:
-        partitioner = SpinnerPartitioner(self.config, num_workers=self.num_workers)
+        """Run the Pregel Spinner (selected engine) and return its assignment."""
+        partitioner = SpinnerPartitioner(
+            self.config, num_workers=self.num_workers, engine=self.engine
+        )
         return partitioner.partition(graph, num_partitions).assignment

@@ -98,6 +98,7 @@ class WangPartitioner(Partitioner):
     def partition(
         self, graph: UndirectedGraph | DiGraph, num_partitions: int
     ) -> dict[int, int]:
+        """Coarsen with LPA, then partition the communities METIS-style."""
         undirected = ensure_undirected(graph)
         if undirected.num_vertices == 0:
             return {}

@@ -73,6 +73,7 @@ class LongSumAggregator(Aggregator):
     neutral = 0
 
     def reduce(self, left: int, right: int) -> int:
+        """Integer addition."""
         return left + right
 
 
@@ -82,6 +83,7 @@ class DoubleSumAggregator(Aggregator):
     neutral = 0.0
 
     def reduce(self, left: float, right: float) -> float:
+        """Floating-point addition."""
         return left + right
 
 
@@ -91,6 +93,7 @@ class MaxAggregator(Aggregator):
     neutral = float("-inf")
 
     def reduce(self, left: float, right: float) -> float:
+        """Keep the larger value."""
         return left if left >= right else right
 
 
@@ -100,6 +103,7 @@ class MinAggregator(Aggregator):
     neutral = float("inf")
 
     def reduce(self, left: float, right: float) -> float:
+        """Keep the smaller value."""
         return left if left <= right else right
 
 

@@ -31,6 +31,7 @@ class SumCombiner(MessageCombiner):
     """Adds messages together (numeric messages)."""
 
     def combine(self, first: Any, second: Any) -> Any:
+        """Add the two messages."""
         return first + second
 
 
@@ -38,6 +39,7 @@ class MinCombiner(MessageCombiner):
     """Keeps the minimum message (numeric messages)."""
 
     def combine(self, first: Any, second: Any) -> Any:
+        """Keep the smaller of the two messages."""
         return first if first <= second else second
 
 
@@ -94,6 +96,7 @@ def make_message_router(
     """
 
     def send(target: int, message: Any) -> None:
+        """Append (or eagerly combine) a message for ``target``."""
         if on_send is not None:
             on_send(target)
         store.send(target, message)

@@ -148,6 +148,7 @@ class Outbox:
 
     @classmethod
     def empty(cls) -> "Outbox":
+        """An outbox with no messages."""
         return cls(
             np.empty(0, dtype=np.int64),
             np.empty(0, dtype=np.int64),
@@ -168,6 +169,12 @@ class BatchStep:
     outbox: Outbox
     #: Per-vertex vote-to-halt mask; applied only where a vertex computed.
     votes: np.ndarray
+    #: Optional per-vertex edge counts charged to the superstep's
+    #: ``edges_scanned`` statistics instead of ``shard.degrees`` — for
+    #: programs whose effective adjacency differs from the shard during
+    #: some supersteps (e.g. Spinner's NeighborPropagation superstep scans
+    #: the original directed out-edges, not the converted adjacency).
+    edges_scanned: np.ndarray | None = None
 
 
 @dataclass
@@ -229,6 +236,7 @@ class BatchComputeContext:
 
     @property
     def num_vertices(self) -> int:
+        """Number of vertices in the shard."""
         return self.shard.num_vertices
 
     # ------------------------------------------------------------------
@@ -267,6 +275,7 @@ class BatchComputeContext:
 
     @staticmethod
     def no_messages() -> Outbox:
+        """An empty outbox, for supersteps that send nothing."""
         return Outbox.empty()
 
     # ------------------------------------------------------------------
@@ -309,6 +318,14 @@ class BatchVertexProgram:
     keep the dictionary-engine signature but run for *all* workers before
     respectively after the batch compute (the batch is one barrier, so
     there is no per-worker interleaving to preserve).
+
+    Contract of the returned :class:`BatchStep`: ``values`` is the full
+    post-superstep value array (coerced to ``float64``); ``outbox``
+    holds the messages to deliver next superstep in canonical
+    (worker-major) order; ``votes`` is applied only where a vertex
+    computed this superstep (message arrival re-activates a halted
+    vertex, as in Pregel); the optional ``edges_scanned`` overrides the
+    per-vertex edge counts charged to the cost-model statistics.
     """
 
     #: Message combination mode: "sum" or "min".
@@ -556,7 +573,9 @@ class VectorPregelEngine:
             unknown = (outbox.targets < 0) | (outbox.targets >= num_vertices)
 
             run_stats.superstep_stats.append(
-                self._superstep_stats(superstep, shard, computed, outbox, unknown)
+                self._superstep_stats(
+                    superstep, shard, computed, outbox, unknown, step.edges_scanned
+                )
             )
 
             for store in worker_stores:
@@ -617,16 +636,18 @@ class VectorPregelEngine:
         computed: np.ndarray,
         outbox: Outbox,
         unknown: np.ndarray,
+        edges_scanned: np.ndarray | None = None,
     ) -> SuperstepStats:
         """Per-worker counters from bincounts over the batch arrays."""
         num_workers = self.num_workers
         worker_of = shard.worker_of
+        edge_counts = shard.degrees if edges_scanned is None else edges_scanned
         vertices_per_worker = np.bincount(
             worker_of[computed], minlength=num_workers
         )
         edges_per_worker = np.bincount(
             worker_of[computed],
-            weights=shard.degrees[computed].astype(np.float64),
+            weights=edge_counts[computed].astype(np.float64),
             minlength=num_workers,
         )
         if len(outbox):

@@ -30,6 +30,7 @@ def hash_placement(num_workers: int) -> PlacementFn:
         raise PregelError("num_workers must be positive")
 
     def place(vertex_id: int) -> int:
+        """Return ``vertex_id mod num_workers``, rejecting negative ids."""
         if vertex_id < 0:
             raise PregelError(
                 f"vertex ids must be non-negative, got {vertex_id}"
@@ -52,6 +53,7 @@ def partition_placement(
         raise PregelError("num_workers must be positive")
 
     def place(vertex_id: int) -> int:
+        """Return the worker owning the vertex's partition label."""
         label = assignment.get(vertex_id)
         if label is None:
             return vertex_id % num_workers

@@ -61,10 +61,81 @@ def test_invalid_holdout_fraction(full_graph):
         EdgeArrivalStream(full_graph, holdout_fraction=1.0)
 
 
+def test_empty_delta(full_graph):
+    stream = EdgeArrivalStream(full_graph, holdout_fraction=0.3, seed=1)
+    delta = stream.delta(num_edges=0)
+    assert delta.num_new_edges == 0
+    assert stream.num_withheld_edges == round(full_graph.num_edges * 0.3)
+    snapshot = stream.snapshot()
+    before = snapshot.num_edges
+    delta.apply(snapshot)
+    assert snapshot.num_edges == before
+
+
+def test_zero_fraction_delta_is_empty(full_graph):
+    stream = EdgeArrivalStream(full_graph, holdout_fraction=0.3, seed=1)
+    assert stream.delta(fraction_of_snapshot=0.0).num_new_edges == 0
+
+
+def test_over_request_is_capped_at_withheld_edges(full_graph):
+    stream = EdgeArrivalStream(full_graph, holdout_fraction=0.2, seed=1)
+    withheld = stream.num_withheld_edges
+    delta = stream.delta(num_edges=withheld + 1000)
+    assert delta.num_new_edges == withheld
+    assert stream.num_withheld_edges == 0
+
+
+def test_exhausted_stream_yields_empty_deltas(full_graph):
+    stream = EdgeArrivalStream(full_graph, holdout_fraction=0.2, seed=1)
+    stream.delta(num_edges=stream.num_withheld_edges)
+    follow_up = stream.delta(fraction_of_snapshot=0.5)
+    assert follow_up.num_new_edges == 0
+    assert stream.num_withheld_edges == 0
+
+
+def test_reset_replays_the_same_edges_in_order(full_graph):
+    stream = EdgeArrivalStream(full_graph, holdout_fraction=0.4, seed=1)
+    first = stream.delta(num_edges=25).added_edges
+    second = stream.delta(num_edges=10).added_edges
+    stream.reset()
+    replay = stream.delta(num_edges=35).added_edges
+    assert replay == first + second
+
+
+def test_withheld_accounting_across_batches(full_graph):
+    stream = EdgeArrivalStream(full_graph, holdout_fraction=0.4, seed=1)
+    total = stream.num_withheld_edges
+    released = 0
+    while stream.num_withheld_edges:
+        released += stream.delta(num_edges=17).num_new_edges
+        assert stream.num_withheld_edges == total - released
+    assert released == total
+
+
+def test_apply_skips_already_present_edges(full_graph):
+    stream = EdgeArrivalStream(full_graph, holdout_fraction=0.3, seed=1)
+    snapshot = stream.snapshot()
+    delta = stream.delta(num_edges=15)
+    delta.apply(snapshot)
+    before = snapshot.num_edges
+    # Re-applying the same delta must be a no-op (edges already exist).
+    delta.apply(snapshot)
+    assert snapshot.num_edges == before
+
+
 def test_random_new_edges_are_new(full_graph):
     delta = random_new_edges(full_graph, fraction=0.05, seed=3)
     for u, v, _w in delta.added_edges:
         assert not full_graph.has_edge(u, v)
+
+
+def test_random_new_edges_zero_fraction(full_graph):
+    assert random_new_edges(full_graph, fraction=0.0, seed=3).num_new_edges == 0
+
+
+def test_random_new_edges_invalid_fraction(full_graph):
+    with pytest.raises(GraphError):
+        random_new_edges(full_graph, fraction=1.5, seed=3)
 
 
 def test_graph_delta_new_vertices():

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Documentation gate: markdown link check + public-API docstring audit.
+
+Run from the repo root (CI's docs job does)::
+
+    python tools/check_docs.py
+
+Two checks, both must pass:
+
+1. **Markdown links** — every relative link target referenced from
+   ``README.md`` and ``docs/*.md`` must exist on disk (external
+   ``http(s)``/``mailto`` links and pure ``#anchor`` links are skipped).
+2. **Docstrings** — every module, public class and public
+   function/method under ``src/repro/`` carries a docstring, mirroring
+   the pydocstyle rules D100/D101/D102/D103 that the CI docs job also
+   enforces with ``ruff``.  A name is private (and exempt) when it or
+   any enclosing scope starts with an underscore; dunder methods are
+   exempt (they fall under D105/D107, which are not gated).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+MARKDOWN_FILES = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+SOURCE_ROOT = REPO_ROOT / "src" / "repro"
+
+_LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def check_markdown_links() -> list[str]:
+    """Return one error per broken relative link in the doc set."""
+    errors: list[str] = []
+    for markdown in MARKDOWN_FILES:
+        if not markdown.exists():
+            errors.append(f"{markdown.relative_to(REPO_ROOT)}: file missing")
+            continue
+        for target in _LINK_PATTERN.findall(markdown.read_text()):
+            if target.startswith(_EXTERNAL_PREFIXES) or target.startswith("#"):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (markdown.parent / path_part).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{markdown.relative_to(REPO_ROOT)}: broken link -> {target}"
+                )
+    return errors
+
+
+def _is_private(name: str) -> bool:
+    return name.startswith("_") and not (name.startswith("__") and name.endswith("__"))
+
+
+def _is_dunder(name: str) -> bool:
+    return name.startswith("__") and name.endswith("__")
+
+
+def _walk_definitions(node: ast.AST, private_scope: bool, errors: list[str], rel: str):
+    """Recursively flag undocumented public definitions under ``node``."""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            private = private_scope or _is_private(child.name)
+            is_function = not isinstance(child, ast.ClassDef)
+            exempt = private or (is_function and _is_dunder(child.name))
+            if not exempt and ast.get_docstring(child) is None:
+                kind = "class" if isinstance(child, ast.ClassDef) else "function"
+                errors.append(f"{rel}:{child.lineno}: undocumented public {kind} "
+                              f"{child.name!r}")
+            _walk_definitions(child, private, errors, rel)
+
+
+def check_docstrings() -> list[str]:
+    """Return one error per undocumented public name under src/repro."""
+    errors: list[str] = []
+    for source in sorted(SOURCE_ROOT.rglob("*.py")):
+        rel = str(source.relative_to(REPO_ROOT))
+        tree = ast.parse(source.read_text(), filename=rel)
+        if ast.get_docstring(tree) is None:
+            errors.append(f"{rel}:1: undocumented module")
+        module_private = any(_is_private(part) for part in source.relative_to(
+            SOURCE_ROOT).parts[:-1])
+        _walk_definitions(tree, module_private, errors, rel)
+    return errors
+
+
+def main() -> int:
+    """Run both checks and report; non-zero exit on any finding."""
+    errors = check_markdown_links() + check_docstrings()
+    for error in errors:
+        print(error)
+    if errors:
+        print(f"\n{len(errors)} documentation problem(s) found")
+        return 1
+    print(
+        f"docs OK: {len(MARKDOWN_FILES)} markdown files, "
+        f"{len(list(SOURCE_ROOT.rglob('*.py')))} source files checked"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
