@@ -44,6 +44,17 @@ from repro.partitioners.registry import (
 # ignore it (the experiment command warns when that happens).
 _ENGINE_BACKED_EXPERIMENTS = frozenset({"table4", "fig9", "fig6b", "fig7", "fig8"})
 
+# Experiments that honour --backend (the CSR-native graph substrate); the
+# remaining experiments ignore it (the experiment command warns).
+_BACKEND_BACKED_EXPERIMENTS = frozenset({"table1", "table3", "fig3", "fig5"})
+
+# Partitioners whose stream order is configurable (--stream-order), with
+# the orders each one supports.
+_STREAMING_PARTITIONERS = {
+    "ldg": ("natural", "random", "bfs"),
+    "fennel": ("natural", "random"),
+}
+
 
 def _pregel_engine(engine: str | None) -> str:
     """Resolve --engine for experiments that only run on a Pregel runtime."""
@@ -59,6 +70,7 @@ def _pregel_engine(engine: str | None) -> str:
 _EXPERIMENTS = {
     "table1": lambda scale, engine: table1.run_table1(scale=scale),
     "table3": lambda scale, engine: table3.run_table3(scale=scale),
+    # (table1/table3/fig3/fig5 pick up the graph backend from the scale.)
     "table4": lambda scale, engine: table4.run_table4(
         scale=scale, engine=_pregel_engine(engine)
     ),
@@ -113,6 +125,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--partitioner", default="spinner", choices=available_partitioners()
     )
     partition.add_argument("--seed", type=int, default=42)
+    partition.add_argument(
+        "--stream-order",
+        choices=("natural", "random", "bfs"),
+        default=None,
+        help="vertex stream order for the streaming partitioners "
+        "(ldg: natural/random/bfs, fennel: natural/random); "
+        "defaults to each partitioner's own default (random)",
+    )
     partition.add_argument("--output", help="write 'vertex partition' pairs to this file")
 
     compare = subparsers.add_parser("compare", help="compare partitioners on one graph")
@@ -130,6 +150,15 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--scale", type=float, default=0.25)
     experiment.add_argument("--seed", type=int, default=7)
     experiment.add_argument(
+        "--backend",
+        choices=("dict", "csr"),
+        default="dict",
+        help="graph substrate for the partitioning experiments "
+        "(table1, table3, fig3, fig5): 'dict' materializes dictionary "
+        "graphs, 'csr' runs generators, partitioners and metrics on CSR "
+        "arrays end to end (same rows, no dict graphs on the hot path)",
+    )
+    experiment.add_argument(
         "--engine",
         choices=("fast", "dict", "vector"),
         default=None,
@@ -145,9 +174,28 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_partition(args: argparse.Namespace) -> int:
+    # Validate flag combinations before the (potentially expensive) graph
+    # generation.
+    if args.stream_order is not None:
+        supported = _STREAMING_PARTITIONERS.get(args.partitioner)
+        if supported is None:
+            raise SystemExit(
+                f"--stream-order only applies to {sorted(_STREAMING_PARTITIONERS)}, "
+                f"not {args.partitioner!r}"
+            )
+        if args.stream_order not in supported:
+            raise SystemExit(
+                f"partitioner {args.partitioner!r} supports stream orders "
+                f"{supported}, not {args.stream_order!r}"
+            )
     graph = _load_graph(args)
     if args.partitioner in SPINNER_PARTITIONERS:
         partitioner = make_partitioner(args.partitioner, config=SpinnerConfig(seed=args.seed))
+    elif args.partitioner in _STREAMING_PARTITIONERS:
+        kwargs = {"seed": args.seed}
+        if args.stream_order is not None:
+            kwargs["stream_order"] = args.stream_order
+        partitioner = make_partitioner(args.partitioner, **kwargs)
     else:
         partitioner = make_partitioner(args.partitioner)
     output = partitioner.run(graph, args.num_partitions)
@@ -193,7 +241,15 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             f"--engine {args.engine} has no effect",
             file=sys.stderr,
         )
-    scale = ExperimentScale(graph_scale=args.scale, seed=args.seed)
+    if args.backend != "dict" and args.name not in _BACKEND_BACKED_EXPERIMENTS:
+        print(
+            f"note: experiment {args.name!r} ignores the graph backend; "
+            f"--backend {args.backend} has no effect",
+            file=sys.stderr,
+        )
+    scale = ExperimentScale(
+        graph_scale=args.scale, seed=args.seed, graph_backend=args.backend
+    )
     rows = _EXPERIMENTS[args.name](scale, args.engine)
     print(format_table(rows, title=f"Experiment {args.name}"))
     return 0

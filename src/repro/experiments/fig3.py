@@ -5,12 +5,17 @@ partitions for each graph, and (b) the improvement in locality relative to
 hash partitioning for the same configurations.  The paper's observation:
 ``phi`` decreases slowly with k and stays far above hash partitioning (up
 to 250x better at k = 512).
+
+With ``scale.graph_backend == "csr"`` every stage — proxy generation,
+Spinner, hash partitioning and the locality metric — runs on CSR arrays
+and reports the same rows as the dictionary path.
 """
 
 from __future__ import annotations
 
 from repro.core.fast import FastSpinner
-from repro.experiments.common import ExperimentScale, spinner_config, undirected_dataset
+from repro.experiments.common import ExperimentScale, partitioning_dataset, spinner_config
+from repro.graph.csr import CSRGraph
 from repro.metrics.quality import locality
 from repro.partitioners.hashing import HashPartitioner
 
@@ -34,11 +39,14 @@ def run_fig3(
     rows: list[dict] = []
     hash_partitioner = HashPartitioner()
     for name in datasets:
-        graph = undirected_dataset(name, scale)
+        graph = partitioning_dataset(name, scale)
         spinner = FastSpinner(spinner_config(scale.seed))
         for k in k_values:
             result = spinner.partition(graph, k, track_history=False)
-            hash_assignment = hash_partitioner.partition(graph, k)
+            if isinstance(graph, CSRGraph):
+                hash_assignment = hash_partitioner.partition_array(graph, k)
+            else:
+                hash_assignment = hash_partitioner.partition(graph, k)
             hash_phi = locality(graph, hash_assignment)
             improvement = result.phi / hash_phi if hash_phi > 0 else float("inf")
             rows.append(

@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.fast import FastSpinner
-from repro.experiments.common import ExperimentScale, spinner_config, undirected_dataset
+from repro.experiments.common import ExperimentScale, partitioning_dataset, spinner_config
 
 FIG5_C_VALUES = (1.02, 1.05, 1.10, 1.20)
 FIG5_K_VALUES = (8, 16, 32, 64)
@@ -26,9 +26,14 @@ def run_fig5(
     repeats: int = 3,
     scale: ExperimentScale | None = None,
 ) -> list[dict]:
-    """Return one row per (c, k) with the mean final rho and iteration count."""
+    """Return one row per (c, k) with the mean final rho and iteration count.
+
+    Honours ``scale.graph_backend``: on ``"csr"`` the LiveJournal proxy is
+    generated directly as a CSR graph and FastSpinner consumes it without
+    any dictionary materialization.
+    """
     scale = scale or ExperimentScale.default()
-    graph = undirected_dataset(dataset, scale)
+    graph = partitioning_dataset(dataset, scale)
     rows: list[dict] = []
     for c in c_values:
         for k in k_values:

@@ -22,10 +22,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
 from repro.graph.generators import (
+    _barabasi_albert_builder,
+    _powerlaw_cluster_builder,
+    _watts_strogatz_builder,
+    _weighted_reciprocal_csr,
     barabasi_albert,
     powerlaw_cluster,
+    powerlaw_cluster_csr,
     to_directed_reciprocal,
     watts_strogatz,
 )
@@ -157,6 +163,83 @@ _LOADERS = {
     "FR": friendster_proxy,
     "Y!": yahoo_proxy,
 }
+
+
+# ----------------------------------------------------------------------
+# CSR-native proxies
+# ----------------------------------------------------------------------
+# Each proxy also has a CSR loader producing the *weighted undirected*
+# view Spinner and the baselines partition — the same graph, edge for
+# edge and weight for weight, as ``ensure_undirected(load_dataset(...))``
+# for the same seed (the generators replay the dictionary builders'
+# random stream; see ``tests/test_csr_generators.py``) — without ever
+# materializing a dictionary graph.
+
+
+def livejournal_proxy_csr(scale: float = 1.0, seed: int = 1) -> CSRGraph:
+    """Weighted undirected CSR view of :func:`livejournal_proxy`."""
+    n = _scaled(DATASET_SPECS["LJ"].base_vertices, scale)
+    skeleton = _powerlaw_cluster_builder(n, 7, 0.5, seed)
+    return _weighted_reciprocal_csr(skeleton, reciprocity=0.5, seed=seed + 1)
+
+
+def tuenti_proxy_csr(scale: float = 1.0, seed: int = 2) -> CSRGraph:
+    """CSR view of :func:`tuenti_proxy` (already undirected, weights 1)."""
+    n = _scaled(DATASET_SPECS["TU"].base_vertices, scale)
+    return powerlaw_cluster_csr(n, 10, 0.7, seed)
+
+
+def googleplus_proxy_csr(scale: float = 1.0, seed: int = 3) -> CSRGraph:
+    """Weighted undirected CSR view of :func:`googleplus_proxy`."""
+    n = _scaled(DATASET_SPECS["G+"].base_vertices, scale)
+    skeleton = _powerlaw_cluster_builder(n, 8, 0.4, seed)
+    return _weighted_reciprocal_csr(skeleton, reciprocity=0.25, seed=seed + 1)
+
+
+def twitter_proxy_csr(scale: float = 1.0, seed: int = 4) -> CSRGraph:
+    """Weighted undirected CSR view of :func:`twitter_proxy`."""
+    n = _scaled(DATASET_SPECS["TW"].base_vertices, scale)
+    skeleton = _barabasi_albert_builder(n, 12, seed)
+    return _weighted_reciprocal_csr(skeleton, reciprocity=0.2, seed=seed + 1)
+
+
+def friendster_proxy_csr(scale: float = 1.0, seed: int = 5) -> CSRGraph:
+    """CSR view of :func:`friendster_proxy` (already undirected, weights 1)."""
+    n = _scaled(DATASET_SPECS["FR"].base_vertices, scale)
+    return powerlaw_cluster_csr(n, 9, 0.3, seed)
+
+
+def yahoo_proxy_csr(scale: float = 1.0, seed: int = 6) -> CSRGraph:
+    """Weighted undirected CSR view of :func:`yahoo_proxy`."""
+    n = _scaled(DATASET_SPECS["Y!"].base_vertices, scale)
+    skeleton = _watts_strogatz_builder(n, degree=6, beta=0.2, seed=seed)
+    return _weighted_reciprocal_csr(skeleton, reciprocity=0.1, seed=seed + 1)
+
+
+_CSR_LOADERS = {
+    "LJ": livejournal_proxy_csr,
+    "TU": tuenti_proxy_csr,
+    "G+": googleplus_proxy_csr,
+    "TW": twitter_proxy_csr,
+    "FR": friendster_proxy_csr,
+    "Y!": yahoo_proxy_csr,
+}
+
+
+def load_dataset_csr(name: str, scale: float = 1.0, seed: int | None = None) -> CSRGraph:
+    """Load a dataset proxy as its weighted undirected CSR view.
+
+    Same names, seeds and graphs as :func:`load_dataset` followed by
+    ``ensure_undirected`` — but array-native end to end.
+    """
+    try:
+        loader = _CSR_LOADERS[name]
+    except KeyError:
+        known = ", ".join(sorted(_CSR_LOADERS))
+        raise KeyError(f"unknown dataset {name!r}; known datasets: {known}") from None
+    if seed is None:
+        return loader(scale=scale)
+    return loader(scale=scale, seed=seed)
 
 
 def load_dataset(name: str, scale: float = 1.0, seed: int | None = None):

@@ -11,8 +11,11 @@ from __future__ import annotations
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import InvalidPartitionCountError
 from repro.graph.conversion import ensure_undirected
+from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
 from repro.graph.undirected import UndirectedGraph
 from repro.metrics.quality import locality, max_normalized_load
@@ -46,6 +49,23 @@ class Partitioner:
     ) -> Mapping[int, int]:
         """Compute the assignment (must be overridden)."""
         raise NotImplementedError
+
+    def partition_array(self, graph: CSRGraph, num_partitions: int) -> np.ndarray:
+        """Partition a CSR graph and return a dense ``int64`` label array.
+
+        Entry ``i`` is the partition of the vertex with dense id ``i``
+        (original id ``graph.original_ids[i]``).  Partitioners with a CSR
+        fast path override this; the default materializes a canonical
+        dictionary graph (sorted vertex and edge insertion) and runs the
+        regular :meth:`partition`, so every partitioner is usable from the
+        array-native experiment pipeline.
+        """
+        from repro.partitioners.csr_stream import canonical_undirected
+
+        assignment = self.partition(canonical_undirected(graph), num_partitions)
+        return np.asarray(
+            [assignment[int(v)] for v in graph.original_ids.tolist()], dtype=np.int64
+        )
 
     def run(
         self, graph: UndirectedGraph | DiGraph, num_partitions: int

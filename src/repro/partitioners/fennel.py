@@ -10,6 +10,14 @@ with ``gamma = 1.5`` and ``alpha = sqrt(k) * m / n^1.5`` (the paper's
 recommended setting), subject to a hard capacity ``nu * n / k`` on the
 partition's vertex count (``nu = 1.1`` matches the load factor used in the
 Fennel paper and the ~1.10 balance the Spinner paper reports for it).
+
+Like LDG this module ships a per-vertex dictionary reference and a
+chunked CSR kernel (:meth:`FennelPartitioner.partition_array`) that is
+assignment-exact with it for the same seed and stream order.  The CSR
+kernel precomputes the marginal cost for every possible integer partition
+size with the same vectorized ``np.power`` call as the reference, so the
+scalar loop reads exact score values from a table instead of evaluating
+``k`` powers per vertex.
 """
 
 from __future__ import annotations
@@ -17,9 +25,18 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.conversion import ensure_undirected
+from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
 from repro.graph.undirected import UndirectedGraph
 from repro.partitioners.base import Partitioner
+from repro.partitioners.csr_stream import (
+    DEFAULT_CHUNK,
+    gather_chunk,
+    intra_chunk_links,
+    merge_intra_chunk_patches,
+    rowwise_label_counts,
+    stream_order,
+)
 
 
 class FennelPartitioner(Partitioner):
@@ -46,9 +63,15 @@ class FennelPartitioner(Partitioner):
         self.seed = seed
 
     def partition(
-        self, graph: UndirectedGraph | DiGraph, num_partitions: int
+        self, graph: UndirectedGraph | DiGraph | CSRGraph, num_partitions: int
     ) -> dict[int, int]:
         """Stream vertices through the Fennel objective and return the assignment."""
+        if isinstance(graph, CSRGraph):
+            labels = self.partition_array(graph, num_partitions)
+            return {
+                int(vertex): int(label)
+                for vertex, label in zip(graph.original_ids.tolist(), labels.tolist())
+            }
         undirected = ensure_undirected(graph)
         n = undirected.num_vertices
         if n == 0:
@@ -57,12 +80,10 @@ class FennelPartitioner(Partitioner):
         alpha = np.sqrt(num_partitions) * m / (n ** 1.5)
         capacity = self.load_factor * n / num_partitions
 
-        vertices = list(undirected.vertices())
+        vertices = sorted(undirected.vertices())
         if self.stream_order == "random":
             rng = np.random.default_rng(self.seed)
             rng.shuffle(vertices)
-        else:
-            vertices.sort()
 
         sizes = np.zeros(num_partitions, dtype=np.float64)
         assignment: dict[int, int] = {}
@@ -81,3 +102,127 @@ class FennelPartitioner(Partitioner):
             assignment[vertex] = best
             sizes[best] += 1.0
         return assignment
+
+    # ------------------------------------------------------------------
+    def partition_array(
+        self, graph: CSRGraph, num_partitions: int, chunk: int = DEFAULT_CHUNK
+    ) -> np.ndarray:
+        """CSR fast path: identical assignments to :meth:`partition`.
+
+        The reference argmax runs over all ``k`` partitions, but only
+        partitions holding a placed neighbour can beat the best *empty*
+        candidate — and among empty candidates the marginal cost is
+        monotone in the partition size, so the winner is always the
+        least-loaded partition (first index on ties, exactly like
+        ``np.argmax``).  The scalar loop therefore scores the sparse
+        neighbour candidates plus that single least-loaded partition.
+        """
+        n = graph.num_vertices
+        k = num_partitions
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        indptr, indices = graph.indptr, graph.indices
+        weights_f = graph.weights.astype(np.float64)
+        m = max(graph.num_edges, 1)
+        alpha = np.sqrt(k) * m / (n ** 1.5)
+        capacity = self.load_factor * n / k
+        # Marginal cost by integer partition size, computed with the same
+        # vectorized np.power expression as the reference so table entries
+        # are bit-identical to what the dictionary path evaluates.
+        max_size = min(n, int(capacity) + 2)
+        cost_table = (
+            alpha * self.gamma * np.power(np.arange(max_size + 1, dtype=np.float64), self.gamma - 1.0)
+        ).tolist()
+        order = stream_order(graph, self.stream_order, self.seed)
+
+        labels = np.full(n, k, dtype=np.int64)
+        position_of = np.full(n, -1, dtype=np.int64)
+        sizes = [0] * k
+        # Least-loaded tracking: histogram of sizes plus the first index at
+        # the minimum, recomputed lazily only when consumed.  num_capped
+        # counts partitions at the hard capacity so the common no-cap case
+        # skips the per-candidate capacity check.
+        size_histogram = [0] * (max_size + 2)
+        size_histogram[0] = k
+        min_size = 0
+        num_capped = 0
+
+        for start in range(0, n, chunk):
+            chunk_vertices = order[start : start + chunk]
+            rows, neighbors, wts = gather_chunk(indptr, indices, weights_f, chunk_vertices)
+            gathered = labels[neighbors]
+            assigned = gathered < k
+            row_starts, cand_labels, cand_sums = rowwise_label_counts(
+                rows[assigned],
+                gathered[assigned],
+                wts[assigned],
+                chunk_vertices.shape[0],
+                k,
+            )
+            position_of[chunk_vertices] = np.arange(chunk_vertices.shape[0])
+            patch_rows, patch_sources, patch_weights = intra_chunk_links(
+                rows, neighbors, wts, position_of
+            )
+            position_of[chunk_vertices] = -1
+
+            chunk_labels = [0] * chunk_vertices.shape[0]
+            patch_index = 0
+            num_patches = len(patch_rows)
+            for row in range(chunk_vertices.shape[0]):
+                lo, hi = row_starts[row], row_starts[row + 1]
+                if patch_index < num_patches and patch_rows[patch_index] == row:
+                    merged, patch_index = merge_intra_chunk_patches(
+                        row, lo, hi, cand_labels, cand_sums, chunk_labels,
+                        patch_rows, patch_sources, patch_weights, patch_index,
+                    )
+                    candidates = sorted(merged.items())
+                else:
+                    candidates = None
+                best = -1
+                best_score = -np.inf
+                if candidates is None:
+                    if num_capped:
+                        for t in range(lo, hi):
+                            label = cand_labels[t]
+                            if sizes[label] >= capacity:
+                                continue
+                            score = cand_sums[t] - cost_table[sizes[label]]
+                            if score > best_score:
+                                best_score = score
+                                best = label
+                    else:
+                        for t in range(lo, hi):
+                            label = cand_labels[t]
+                            score = cand_sums[t] - cost_table[sizes[label]]
+                            if score > best_score:
+                                best_score = score
+                                best = label
+                else:
+                    for label, summed in candidates:
+                        if num_capped and sizes[label] >= capacity:
+                            continue
+                        score = summed - cost_table[sizes[label]]
+                        if score > best_score:
+                            best_score = score
+                            best = label
+                empty_score = -cost_table[min_size]
+                if best < 0 or empty_score > best_score:
+                    # Least-loaded partition (first index at the minimum
+                    # size) wins outright.
+                    best = sizes.index(min_size)
+                elif empty_score == best_score:
+                    # Exact tie: np.argmax takes the smaller index.
+                    least = sizes.index(min_size)
+                    if least < best:
+                        best = least
+                chunk_labels[row] = best
+                old_size = sizes[best]
+                sizes[best] = old_size + 1
+                size_histogram[old_size] -= 1
+                size_histogram[old_size + 1] += 1
+                if old_size == min_size and size_histogram[min_size] == 0:
+                    min_size += 1
+                if old_size < capacity <= old_size + 1:
+                    num_capped += 1
+            labels[chunk_vertices] = chunk_labels
+        return labels

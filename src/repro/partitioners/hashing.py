@@ -8,6 +8,9 @@ cut — the poor locality the paper's Figure 3(b) quantifies.
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
 from repro.graph.undirected import UndirectedGraph
 from repro.partitioners.base import Partitioner
@@ -38,6 +41,14 @@ class HashPartitioner(Partitioner):
         """Assign every vertex to ``hash(vertex) mod k``."""
         return {vertex: _mix(vertex) % num_partitions for vertex in graph.vertices()}
 
+    def partition_array(self, graph: CSRGraph, num_partitions: int) -> np.ndarray:
+        """Vectorized splitmix64 over the original ids (identical to ``_mix``)."""
+        z = graph.original_ids.astype(np.uint64) + np.uint64(0x9E3779B97F4A7C15)
+        z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        z = z ^ (z >> np.uint64(31))
+        return (z % np.uint64(num_partitions)).astype(np.int64)
+
 
 class ModuloPartitioner(Partitioner):
     """Plain ``v mod k`` assignment (round-robin over contiguous ids)."""
@@ -49,3 +60,7 @@ class ModuloPartitioner(Partitioner):
     ) -> dict[int, int]:
         """Assign every vertex to ``vertex mod k``."""
         return {vertex: vertex % num_partitions for vertex in graph.vertices()}
+
+    def partition_array(self, graph: CSRGraph, num_partitions: int) -> np.ndarray:
+        """Vectorized ``original_id mod k``."""
+        return graph.original_ids % np.int64(num_partitions)

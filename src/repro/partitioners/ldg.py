@@ -10,16 +10,37 @@ where ``C = n / k`` is the per-partition vertex capacity.  The linear
 penalty keeps partitions balanced in vertex count while the intersection
 term favours locality.  Ties break towards the currently smallest
 partition.
+
+Two implementations share this module: the per-vertex dictionary
+reference (:meth:`LinearDeterministicGreedy.partition` on an
+:class:`UndirectedGraph`) and a chunked CSR kernel
+(:meth:`LinearDeterministicGreedy.partition_array`) that produces the
+same assignment for the same seed and stream order — pinned in
+``tests/test_csr_partitioners.py``.  Both stream vertices in ascending-id
+canonical order (sorted before shuffling, sorted neighbour expansion in
+BFS), so the result depends only on the graph, not on dictionary
+insertion order.
 """
 
 from __future__ import annotations
 
+from collections import deque
+
 import numpy as np
 
 from repro.graph.conversion import ensure_undirected
+from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
 from repro.graph.undirected import UndirectedGraph
 from repro.partitioners.base import Partitioner
+from repro.partitioners.csr_stream import (
+    DEFAULT_CHUNK,
+    gather_chunk,
+    intra_chunk_links,
+    merge_intra_chunk_patches,
+    rowwise_label_counts,
+    stream_order,
+)
 
 
 class LinearDeterministicGreedy(Partitioner):
@@ -53,26 +74,28 @@ class LinearDeterministicGreedy(Partitioner):
 
     # ------------------------------------------------------------------
     def _stream(self, graph: UndirectedGraph) -> list[int]:
-        vertices = list(graph.vertices())
+        vertices = sorted(graph.vertices())
         if self.stream_order == "natural":
-            return sorted(vertices)
-        rng = np.random.default_rng(self.seed)
-        if self.stream_order == "random":
-            rng.shuffle(vertices)
             return vertices
-        # BFS order from a random root, covering all components.
+        rng = np.random.default_rng(self.seed)
+        rng.shuffle(vertices)
+        if self.stream_order == "random":
+            return vertices
+        # BFS order from a random root, covering all components.  The
+        # queue is a deque (popleft is O(1); a list's pop(0) made this
+        # O(n^2)) and neighbours expand in ascending id order so the
+        # traversal is canonical.
         order: list[int] = []
         visited: set[int] = set()
-        rng.shuffle(vertices)
         for root in vertices:
             if root in visited:
                 continue
-            queue = [root]
+            queue: deque[int] = deque([root])
             visited.add(root)
             while queue:
-                current = queue.pop(0)
+                current = queue.popleft()
                 order.append(current)
-                for neighbour in graph.neighbors(current):
+                for neighbour in sorted(graph.neighbors(current)):
                     if neighbour not in visited:
                         visited.add(neighbour)
                         queue.append(neighbour)
@@ -80,9 +103,15 @@ class LinearDeterministicGreedy(Partitioner):
 
     # ------------------------------------------------------------------
     def partition(
-        self, graph: UndirectedGraph | DiGraph, num_partitions: int
+        self, graph: UndirectedGraph | DiGraph | CSRGraph, num_partitions: int
     ) -> dict[int, int]:
         """Stream vertices through the LDG greedy rule and return the assignment."""
+        if isinstance(graph, CSRGraph):
+            labels = self.partition_array(graph, num_partitions)
+            return {
+                int(vertex): int(label)
+                for vertex, label in zip(graph.original_ids.tolist(), labels.tolist())
+            }
         undirected = ensure_undirected(graph)
         n = undirected.num_vertices
         if n == 0:
@@ -107,3 +136,89 @@ class LinearDeterministicGreedy(Partitioner):
             assignment[vertex] = best
             sizes[best] += 1.0
         return assignment
+
+    # ------------------------------------------------------------------
+    def partition_array(
+        self, graph: CSRGraph, num_partitions: int, chunk: int = DEFAULT_CHUNK
+    ) -> np.ndarray:
+        """CSR fast path: identical assignments to :meth:`partition`.
+
+        Streams the same vertex order but gathers neighbour-label counts
+        one chunk at a time with flat array operations; the scalar loop
+        only scores the (few) candidate partitions of each vertex and
+        patches intra-chunk contributions, so the cost per vertex is
+        bounded by its candidate count rather than the dictionary and
+        ``ndarray`` overhead of the reference path.
+        """
+        n = graph.num_vertices
+        k = num_partitions
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        indptr, indices = graph.indptr, graph.indices
+        weights_f = graph.weights.astype(np.float64)
+        capacity = self.capacity_slack * n / k
+        order = stream_order(graph, self.stream_order, self.seed)
+
+        labels = np.full(n, k, dtype=np.int64)  # k == "unassigned" sentinel
+        position_of = np.full(n, -1, dtype=np.int64)
+        sizes = [0.0] * k
+        sizes_np = np.zeros(k, dtype=np.float64)
+        # Penalty per partition, maintained incrementally with the exact
+        # arithmetic of the reference (`clip(1 - size / capacity, 0, None)`).
+        penalty = [1.0 - 0.0 / capacity] * k
+        for start in range(0, n, chunk):
+            chunk_vertices = order[start : start + chunk]
+            rows, neighbors, wts = gather_chunk(indptr, indices, weights_f, chunk_vertices)
+            gathered = labels[neighbors]
+            assigned = gathered < k
+            row_starts, cand_labels, cand_sums = rowwise_label_counts(
+                rows[assigned],
+                gathered[assigned],
+                wts[assigned],
+                chunk_vertices.shape[0],
+                k,
+            )
+            position_of[chunk_vertices] = np.arange(chunk_vertices.shape[0])
+            patch_rows, patch_sources, patch_weights = intra_chunk_links(
+                rows, neighbors, wts, position_of
+            )
+            position_of[chunk_vertices] = -1
+
+            chunk_labels = [0] * chunk_vertices.shape[0]
+            patch_index = 0
+            num_patches = len(patch_rows)
+            for row in range(chunk_vertices.shape[0]):
+                lo, hi = row_starts[row], row_starts[row + 1]
+                if patch_index < num_patches and patch_rows[patch_index] == row:
+                    merged, patch_index = merge_intra_chunk_patches(
+                        row, lo, hi, cand_labels, cand_sums, chunk_labels,
+                        patch_rows, patch_sources, patch_weights, patch_index,
+                    )
+                    best = -1
+                    best_score = 0.0
+                    for label in sorted(merged):
+                        score = merged[label] * penalty[label]
+                        if score > best_score:
+                            best_score = score
+                            best = label
+                else:
+                    best = -1
+                    best_score = 0.0
+                    for t in range(lo, hi):
+                        label = cand_labels[t]
+                        score = cand_sums[t] * penalty[label]
+                        if score > best_score:
+                            best_score = score
+                            best = label
+                if best < 0:
+                    # All scores zero: least-loaded fallback (first minimum,
+                    # like np.argmin on the reference path).
+                    best = int(sizes_np.argmin())
+                chunk_labels[row] = best
+                new_size = sizes[best] + 1.0
+                sizes[best] = new_size
+                sizes_np[best] = new_size
+                updated = 1.0 - new_size / capacity
+                penalty[best] = updated if updated > 0.0 else 0.0
+            labels[chunk_vertices] = chunk_labels
+        return labels

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
 from repro.graph.undirected import UndirectedGraph
 from repro.partitioners.base import Partitioner
@@ -30,3 +31,14 @@ class RandomPartitioner(Partitioner):
         vertices = list(graph.vertices())
         labels = rng.integers(num_partitions, size=len(vertices))
         return {vertex: int(label) for vertex, label in zip(vertices, labels)}
+
+    def partition_array(self, graph: CSRGraph, num_partitions: int) -> np.ndarray:
+        """Vectorized random labels.
+
+        Dense vertex ``i`` receives the ``i``-th draw, which matches the
+        dictionary path whenever the dictionary graph was built with
+        vertices inserted in ascending id order (true for every generator
+        and dataset proxy in this repository).
+        """
+        rng = np.random.default_rng(self.seed)
+        return rng.integers(num_partitions, size=graph.num_vertices).astype(np.int64)

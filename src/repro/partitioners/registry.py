@@ -29,7 +29,11 @@ used in the paper's tables:
 
 The three Spinner entries accept a ``config=SpinnerConfig(...)`` keyword
 (paper defaults: ``c = 1.05``, ``epsilon = 0.001``, ``w = 5``); all
-factories forward their keyword arguments to the constructor.
+factories forward their keyword arguments to the constructor.  In
+particular the streaming baselines take ``stream_order=`` (``ldg``:
+``"natural"``/``"random"``/``"bfs"``; ``fennel``:
+``"natural"``/``"random"``) and ``seed=``, so sweeps can vary the stream
+order through :func:`make_partitioner` or the CLI's ``--stream-order``.
 """
 
 from __future__ import annotations

@@ -7,6 +7,8 @@ adapters let Spinner participate.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.config import SpinnerConfig
 from repro.core.fast import FastSpinner
 from repro.core.spinner import SpinnerPartitioner
@@ -35,6 +37,13 @@ class SpinnerFastAdapter(Partitioner):
         """Run FastSpinner and return its ``{vertex: partition}`` assignment."""
         result = FastSpinner(self.config).partition(graph, num_partitions)
         return result.to_assignment()
+
+    def partition_array(self, graph: CSRGraph, num_partitions: int) -> np.ndarray:
+        """Run FastSpinner on the CSR graph and return its dense label array."""
+        result = FastSpinner(self.config).partition(
+            graph, num_partitions, track_history=False
+        )
+        return result.labels
 
 
 class SpinnerPregelAdapter(Partitioner):

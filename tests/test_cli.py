@@ -67,6 +67,83 @@ def test_experiment_command(capsys):
     assert "rho" in out
 
 
+def test_experiment_command_csr_backend(capsys):
+    code = main(["experiment", "table3", "--scale", "0.03", "--backend", "csr"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "rho" in out
+
+
+def test_experiment_backend_warning_for_unbacked_experiment(capsys):
+    code = main(
+        ["experiment", "fig6a", "--scale", "0.03", "--backend", "csr"]
+    )
+    assert code == 0
+    err = capsys.readouterr().err
+    assert "ignores the graph backend" in err
+
+
+def test_partition_command_stream_order(capsys):
+    code = main(
+        [
+            "partition",
+            "--dataset",
+            "TU",
+            "--scale",
+            "0.03",
+            "-k",
+            "4",
+            "--partitioner",
+            "ldg",
+            "--stream-order",
+            "bfs",
+            "--seed",
+            "3",
+        ]
+    )
+    assert code == 0
+    assert "ldg" in capsys.readouterr().out
+
+
+def test_partition_stream_order_rejected_for_non_streaming():
+    with pytest.raises(SystemExit):
+        main(
+            [
+                "partition",
+                "--dataset",
+                "TU",
+                "--scale",
+                "0.03",
+                "-k",
+                "2",
+                "--partitioner",
+                "hash",
+                "--stream-order",
+                "bfs",
+            ]
+        )
+
+
+def test_partition_stream_order_rejected_when_unsupported():
+    # fennel has no BFS stream; the CLI must exit cleanly, not traceback.
+    with pytest.raises(SystemExit):
+        main(
+            [
+                "partition",
+                "--dataset",
+                "TU",
+                "--scale",
+                "0.03",
+                "-k",
+                "2",
+                "--partitioner",
+                "fennel",
+                "--stream-order",
+                "bfs",
+            ]
+        )
+
+
 def test_missing_graph_source_errors():
     with pytest.raises(SystemExit):
         main(["partition", "-k", "2"])

@@ -1,0 +1,112 @@
+"""Seed-for-seed equality of the CSR generators with the dict builders.
+
+The ``*_csr`` generator twins replay the dictionary builders' exact
+control flow (and therefore their random stream), so for any seed they
+must produce the identical graph.  The dataset CSR loaders additionally
+pin the full pipeline — skeleton generation plus the eq. (3) reciprocity
+weighting — against ``ensure_undirected(load_dataset(...))``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.conversion import ensure_undirected
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import dataset_names, load_dataset, load_dataset_csr
+from repro.graph.generators import (
+    barabasi_albert,
+    barabasi_albert_csr,
+    erdos_renyi,
+    erdos_renyi_csr,
+    powerlaw_cluster,
+    powerlaw_cluster_csr,
+    ring_lattice,
+    ring_lattice_csr,
+    watts_strogatz,
+    watts_strogatz_csr,
+)
+
+
+def _sorted_triples(csr: CSRGraph):
+    """Canonical (source, target, weight) triple arrays of a CSR graph."""
+    sources = np.repeat(np.arange(csr.num_vertices, dtype=np.int64), np.diff(csr.indptr))
+    order = np.lexsort((csr.weights, csr.indices, sources))
+    return sources[order], csr.indices[order], csr.weights[order]
+
+
+def _assert_same_graph(dict_graph, csr: CSRGraph) -> None:
+    reference = CSRGraph.from_undirected(dict_graph)
+    assert reference.num_vertices == csr.num_vertices
+    assert reference.num_edges == csr.num_edges
+    for a, b in zip(_sorted_triples(reference), _sorted_triples(csr)):
+        assert np.array_equal(a, b)
+
+
+def test_ring_lattice_csr_equals_dict():
+    _assert_same_graph(ring_lattice(120, 6), ring_lattice_csr(120, 6))
+
+
+@pytest.mark.parametrize("seed", [0, 7, 42])
+def test_watts_strogatz_csr_equals_dict(seed):
+    _assert_same_graph(
+        watts_strogatz(240, 8, 0.3, seed=seed), watts_strogatz_csr(240, 8, 0.3, seed=seed)
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 7, 42])
+def test_erdos_renyi_csr_equals_dict(seed):
+    _assert_same_graph(
+        erdos_renyi(250, 700, seed=seed), erdos_renyi_csr(250, 700, seed=seed)
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 7, 42])
+def test_barabasi_albert_csr_equals_dict(seed):
+    _assert_same_graph(
+        barabasi_albert(260, 6, seed=seed), barabasi_albert_csr(260, 6, seed=seed)
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 7, 42])
+def test_powerlaw_cluster_csr_equals_dict(seed):
+    _assert_same_graph(
+        powerlaw_cluster(260, 6, 0.5, seed=seed),
+        powerlaw_cluster_csr(260, 6, 0.5, seed=seed),
+    )
+
+
+def test_csr_generators_reject_bad_parameters():
+    with pytest.raises(Exception):
+        ring_lattice_csr(10, 3)  # odd degree
+    with pytest.raises(Exception):
+        watts_strogatz_csr(100, 6, 1.5, seed=0)  # beta out of range
+    with pytest.raises(Exception):
+        barabasi_albert_csr(5, 6, seed=0)  # too few vertices
+    with pytest.raises(Exception):
+        powerlaw_cluster_csr(100, 6, -0.1, seed=0)  # bad triangle probability
+
+
+@pytest.mark.parametrize("name", dataset_names())
+def test_dataset_csr_loader_equals_dict_pipeline(name):
+    dict_graph = ensure_undirected(load_dataset(name, scale=0.04))
+    csr_graph = load_dataset_csr(name, scale=0.04)
+    _assert_same_graph(dict_graph, csr_graph)
+
+
+def test_dataset_csr_loader_honours_seed_override():
+    a = load_dataset_csr("TW", scale=0.04, seed=11)
+    b = ensure_undirected(load_dataset("TW", scale=0.04, seed=11))
+    _assert_same_graph(b, a)
+    with pytest.raises(KeyError):
+        load_dataset_csr("nope")
+
+
+def test_dataset_csr_weights_follow_eq3():
+    # Directed proxies produce weights in {1, 2}; undirected ones all 1.
+    weighted = load_dataset_csr("TW", scale=0.04)
+    assert set(np.unique(weighted.weights).tolist()) <= {1, 2}
+    assert (weighted.weights == 2).any()
+    unweighted = load_dataset_csr("TU", scale=0.04)
+    assert set(np.unique(unweighted.weights).tolist()) == {1}

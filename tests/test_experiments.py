@@ -27,6 +27,46 @@ def test_table1_rows_and_shape(quick):
     assert spinner_rows[0]["phi"] >= spinner_rows[1]["phi"] - 0.05
 
 
+def test_partitioning_experiments_identical_on_csr_backend(quick):
+    # The CSR backend must report the same rows as the dictionary backend:
+    # generators are seed-for-seed equal and the partitioner kernels are
+    # assignment-exact.  (METIS is excluded: it has no CSR kernel and runs
+    # on a canonical re-materialization whose adjacency order differs.)
+    csr_scale = ExperimentScale(
+        graph_scale=quick.graph_scale, seed=quick.seed, graph_backend="csr"
+    )
+    approaches = ("wang", "ldg", "fennel", "spinner")
+    assert table1.run_table1(
+        k_values=(2, 4), approaches=approaches, scale=quick
+    ) == table1.run_table1(k_values=(2, 4), approaches=approaches, scale=csr_scale)
+    assert fig3.run_fig3(datasets=("TU",), k_values=(2, 8), scale=quick) == fig3.run_fig3(
+        datasets=("TU",), k_values=(2, 8), scale=csr_scale
+    )
+    assert fig5.run_fig5(
+        c_values=(1.02,), k_values=(4,), repeats=1, scale=quick
+    ) == fig5.run_fig5(c_values=(1.02,), k_values=(4,), repeats=1, scale=csr_scale)
+    assert table3.run_table3(
+        datasets=("LJ", "TU"), k_values=(4,), scale=quick
+    ) == table3.run_table3(datasets=("LJ", "TU"), k_values=(4,), scale=csr_scale)
+
+
+def test_table1_csr_backend_runs_metis(quick):
+    csr_scale = ExperimentScale(
+        graph_scale=quick.graph_scale, seed=quick.seed, graph_backend="csr"
+    )
+    rows = table1.run_table1(k_values=(2,), approaches=("metis",), scale=csr_scale)
+    assert rows[0]["rho"] >= 1.0 and 0.0 <= rows[0]["phi"] <= 1.0
+
+
+def test_experiment_scale_rejects_unknown_backend():
+    import pytest as _pytest
+
+    from repro.errors import ConfigurationError
+
+    with _pytest.raises(ConfigurationError):
+        ExperimentScale(graph_backend="sparse")
+
+
 def test_table3_reports_balance_for_each_graph(quick):
     rows = table3.run_table3(datasets=("LJ", "TU"), k_values=(4,), scale=quick)
     assert [row["graph"] for row in rows] == ["LJ", "TU"]

@@ -76,6 +76,67 @@ def test_csr_and_dict_metrics_agree(community_graph):
     )
 
 
+def test_csr_and_dict_metrics_agree_with_isolated_vertices():
+    # Isolated vertices contribute no edges but must still appear in the
+    # loads (with load 0) and in the global score (penalty-only term).
+    graph = UndirectedGraph()
+    for vertex in range(8):
+        graph.add_vertex(vertex)
+    graph.add_edge(0, 1, weight=2)
+    graph.add_edge(1, 2)
+    graph.add_edge(3, 4)
+    csr = CSRGraph.from_undirected(graph)
+    labels = np.array([0, 0, 1, 1, 0, 2, 1, 0])
+    assignment = {int(orig): int(lab) for orig, lab in zip(csr.original_ids, labels)}
+    assert locality(csr, labels) == pytest.approx(locality(graph, assignment))
+    assert cut_edges(csr, labels) == cut_edges(graph, assignment)
+    assert np.allclose(
+        partition_loads(csr, labels, 3), partition_loads(graph, assignment, 3)
+    )
+    assert global_score(csr, labels, 3) == pytest.approx(
+        global_score(graph, assignment, 3), rel=1e-9
+    )
+
+
+def test_csr_metrics_zero_weight_edges_behave_as_absent():
+    # UndirectedGraph rejects zero weights, so the pinned behaviour is:
+    # a zero-weight CSR edge contributes nothing to locality, loads or the
+    # global score (same values as the graph without the edge) — but it
+    # remains a countable edge for cut_edges, which is weight-oblivious.
+    edges = np.asarray([[0, 1], [1, 2], [2, 3], [3, 0]])
+    weights = np.asarray([2, 0, 1, 1])
+    with_zero = CSRGraph.from_edge_list(edges, 4, weights=weights)
+    without = CSRGraph.from_edge_list(edges[weights > 0], 4, weights=weights[weights > 0])
+    labels = np.array([0, 0, 1, 1])
+    assert locality(with_zero, labels) == pytest.approx(locality(without, labels))
+    assert np.allclose(
+        partition_loads(with_zero, labels, 2), partition_loads(without, labels, 2)
+    )
+    assert global_score(with_zero, labels, 2) == pytest.approx(
+        global_score(without, labels, 2), rel=1e-9
+    )
+    # (1,2) crosses partitions: counted by cut_edges even at weight 0.
+    assert cut_edges(without, labels) == 1
+    assert cut_edges(with_zero, labels) == 2
+
+
+def test_csr_cut_edges_self_loops_match_dict_semantics():
+    # UndirectedGraph rejects self-loops outright; the pinned CSR contract
+    # is that a self-loop is never a cut edge (its endpoints trivially
+    # share a partition), so cut_edges equals the loop-free graph's count
+    # and the `crossing.sum() // 2` halving stays exact (every half-edge
+    # pair of a loop is either counted twice or not at all).
+    edges = np.asarray([[0, 1], [1, 2], [2, 2], [0, 0]])
+    with_loops = CSRGraph.from_edge_list(edges, 3)
+    loop_free_graph = UndirectedGraph.from_edges([(0, 1), (1, 2)], num_vertices=3)
+    for labels in (np.array([0, 1, 0]), np.array([0, 0, 1]), np.array([1, 1, 1])):
+        assignment = {v: int(labels[v]) for v in range(3)}
+        assert cut_edges(with_loops, labels) == cut_edges(loop_free_graph, assignment)
+        # The doubled edge array always yields an even crossing count.
+        sources, targets, _ = with_loops.edge_array()
+        assert int((labels[sources] != labels[targets]).sum()) % 2 == 0
+
+
 def test_global_score_prefers_better_partitionings(two_cliques):
     good = {v: 0 if v < 5 else 1 for v in two_cliques.vertices()}
     bad = {v: v % 2 for v in two_cliques.vertices()}
