@@ -35,6 +35,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.graph.io import atomic_write_text
 from repro.graph.undirected import UndirectedGraph
 from repro.partitioners.fennel import FennelPartitioner
 from repro.partitioners.ldg import LinearDeterministicGreedy
@@ -148,7 +149,7 @@ def test_baseline_csr_kernels_speedup_and_equality():
         "results": rows,
         "min_speedup_asserted": MIN_SPEEDUP,
     }
-    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_text(BENCH_PATH, json.dumps(payload, indent=2) + "\n")
     print()
     print(json.dumps(payload, indent=2))
     for row in rows:

@@ -37,6 +37,7 @@ import numpy as np
 from repro.core.config import SpinnerConfig
 from repro.core.fast import FastSpinner
 from repro.graph.csr import CSRGraph
+from repro.graph.io import atomic_write_text
 
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_kernel.json"
 
@@ -138,7 +139,7 @@ def test_frontier_kernel_speedup_on_100k_1m_graph():
         "cold_start": cold,
         "incremental_2pct_churn": incremental,
     }
-    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_text(BENCH_PATH, json.dumps(payload, indent=2) + "\n")
     print(
         "\nkernel speedup: cold "
         f"{cold['dense_seconds']:.2f}s -> {cold['frontier_seconds']:.2f}s "

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.apps.pagerank import BatchPageRank, PageRank
 from repro.graph.csr import CSRGraph
+from repro.graph.io import atomic_write_text
 from repro.pregel.engine import PregelEngine
 from repro.pregel.vector_engine import VectorPregelEngine
 
@@ -116,7 +117,7 @@ def test_vector_engine_speedup_on_100k_1m_pagerank():
         "total_messages": dict_result.stats.total_messages,
         "values_byte_identical": True,
     }
-    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_text(BENCH_PATH, json.dumps(payload, indent=2) + "\n")
     print(
         f"\npregel speedup: dict {dict_seconds:.2f}s -> "
         f"vector {vector_seconds:.2f}s ({speedup:.1f}x) -> {BENCH_PATH.name}"

@@ -30,6 +30,7 @@ from pathlib import Path
 from repro.core.config import SpinnerConfig
 from repro.core.spinner import SpinnerPartitioner
 from repro.graph.generators import watts_strogatz
+from repro.graph.io import atomic_write_text
 
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_spinner.json"
 
@@ -106,7 +107,7 @@ def test_batch_spinner_speedup_on_100k():
         "runs": results,
         "bit_exact": True,
     }
-    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_text(BENCH_PATH, json.dumps(payload, indent=2) + "\n")
     for label, run in results.items():
         print(
             f"\nspinner pregel speedup [{label}]: dict {run['dict_seconds']:.2f}s -> "

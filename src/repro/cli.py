@@ -8,16 +8,24 @@
 * ``compare`` — run several partitioners on the same graph and print their
   locality / balance;
 * ``experiment`` — run one of the paper's table/figure harnesses and print
-  the rows it produces.
+  the rows it produces;
+* ``recover`` — resume a checkpointed Pregel run from the newest snapshot
+  in a checkpoint directory and run it to completion.
+
+All user errors (invalid flag combinations, malformed fault plans, bad
+checkpoint directories, any :class:`~repro.errors.ReproError`) exit with
+status 2 and a one-line ``spinner-repro: error: ...`` message on stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections.abc import Sequence
 
 from repro.core.config import SpinnerConfig
+from repro.errors import ReproError
 from repro.experiments import (
     fig3,
     fig4,
@@ -31,9 +39,11 @@ from repro.experiments import (
     table4,
 )
 from repro.experiments.common import ExperimentScale
+from repro.faults import FaultPlan
 from repro.graph.datasets import dataset_names, load_dataset
 from repro.graph.io import read_directed_edge_list, write_partitioning
 from repro.metrics.reporting import format_table
+from repro.pregel.checkpoint import load_latest_snapshot, resume_from_checkpoint
 from repro.partitioners.registry import (
     SPINNER_PARTITIONERS,
     available_partitioners,
@@ -55,6 +65,17 @@ _STREAMING_PARTITIONERS = {
     "fennel": ("natural", "random"),
 }
 
+# Partitioners that execute on a (checkpointable) Pregel engine; the
+# checkpoint/fault flags only apply to these.  "spinner" is FastSpinner —
+# vectorized kernels, no Pregel run to snapshot.
+_PREGEL_PARTITIONERS = frozenset({"spinner-pregel", "spinner-pregel-vector"})
+
+
+def _fail(message: str) -> None:
+    """Print a one-line error and exit with status 2 (user error)."""
+    print(f"spinner-repro: error: {message}", file=sys.stderr)
+    raise SystemExit(2)
+
 
 def _pregel_engine(engine: str | None) -> str:
     """Resolve --engine for experiments that only run on a Pregel runtime."""
@@ -62,9 +83,7 @@ def _pregel_engine(engine: str | None) -> str:
         return "dict"
     if engine == "vector":
         return "vector"
-    raise SystemExit(
-        f"--engine {engine} is not a Pregel runtime; use 'dict' or 'vector'"
-    )
+    _fail(f"--engine {engine} is not a Pregel runtime; use 'dict' or 'vector'")
 
 
 _EXPERIMENTS = {
@@ -95,7 +114,7 @@ def _load_graph(args: argparse.Namespace):
         return load_dataset(args.dataset, scale=args.scale)
     if args.edge_list is not None:
         return read_directed_edge_list(args.edge_list)
-    raise SystemExit("provide either --dataset or --edge-list")
+    _fail("provide either --dataset or --edge-list")
 
 
 def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
@@ -134,6 +153,26 @@ def build_parser() -> argparse.ArgumentParser:
         "defaults to each partitioner's own default (random)",
     )
     partition.add_argument("--output", help="write 'vertex partition' pairs to this file")
+    partition.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=None,
+        help="snapshot the Pregel run every N supersteps into "
+        "--checkpoint-dir (spinner-pregel / spinner-pregel-vector only)",
+    )
+    partition.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="directory for checkpoint snapshots (created if missing); "
+        "required with --checkpoint-interval",
+    )
+    partition.add_argument(
+        "--fault-plan",
+        default=None,
+        help="inject deterministic faults into the Pregel run, e.g. "
+        "'crash:2,msg:4:2' (crash:SUPERSTEP[:WORKER[:TIMES]] / "
+        "msg:SUPERSTEP[:FAILURES[:TIMES]]); requires checkpointing",
+    )
 
     compare = subparsers.add_parser("compare", help="compare partitioners on one graph")
     _add_graph_arguments(compare)
@@ -170,6 +209,23 @@ def build_parser() -> argparse.ArgumentParser:
         "Defaults to each experiment's own default runtime",
     )
 
+    recover = subparsers.add_parser(
+        "recover", help="resume a checkpointed Pregel run to completion"
+    )
+    recover.add_argument(
+        "checkpoint_dir",
+        help="directory holding checkpoint_*.pkl / checkpoint_*.npz snapshots",
+    )
+    recover.add_argument(
+        "--fault-plan",
+        default=None,
+        help="keep injecting faults into the resumed run (same spec as "
+        "partition --fault-plan); by default the resumed run is clean",
+    )
+    recover.add_argument(
+        "--seed", type=int, default=42, help="seed for the fault plan's backoff jitter"
+    )
+
     return parser
 
 
@@ -179,18 +235,44 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     if args.stream_order is not None:
         supported = _STREAMING_PARTITIONERS.get(args.partitioner)
         if supported is None:
-            raise SystemExit(
+            _fail(
                 f"--stream-order only applies to {sorted(_STREAMING_PARTITIONERS)}, "
                 f"not {args.partitioner!r}"
             )
         if args.stream_order not in supported:
-            raise SystemExit(
+            _fail(
                 f"partitioner {args.partitioner!r} supports stream orders "
                 f"{supported}, not {args.stream_order!r}"
             )
+    if args.fault_plan is not None and args.checkpoint_interval is None:
+        _fail("--fault-plan requires --checkpoint-interval and --checkpoint-dir")
+    if (args.checkpoint_interval is None) != (args.checkpoint_dir is None):
+        _fail("--checkpoint-interval and --checkpoint-dir must be given together")
+    fault_plan = None
+    if args.checkpoint_interval is not None:
+        if args.partitioner not in _PREGEL_PARTITIONERS:
+            _fail(
+                f"--checkpoint-interval only applies to the Pregel-backed "
+                f"partitioners {sorted(_PREGEL_PARTITIONERS)}, "
+                f"not {args.partitioner!r}"
+            )
+        if args.checkpoint_interval < 1:
+            _fail(f"--checkpoint-interval must be >= 1, got {args.checkpoint_interval}")
+        if os.path.exists(args.checkpoint_dir) and not os.path.isdir(args.checkpoint_dir):
+            _fail(
+                f"checkpoint dir {args.checkpoint_dir!r} exists and is not a directory"
+            )
+        if args.fault_plan is not None:
+            fault_plan = FaultPlan.parse(args.fault_plan, seed=args.seed)
     graph = _load_graph(args)
     if args.partitioner in SPINNER_PARTITIONERS:
-        partitioner = make_partitioner(args.partitioner, config=SpinnerConfig(seed=args.seed))
+        config = SpinnerConfig(
+            seed=args.seed,
+            checkpoint_interval=args.checkpoint_interval,
+            checkpoint_dir=args.checkpoint_dir,
+            fault_plan=fault_plan,
+        )
+        partitioner = make_partitioner(args.partitioner, config=config)
     elif args.partitioner in _STREAMING_PARTITIONERS:
         kwargs = {"seed": args.seed}
         if args.stream_order is not None:
@@ -255,16 +337,54 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_recover(args: argparse.Namespace) -> int:
+    if not os.path.isdir(args.checkpoint_dir):
+        _fail(
+            f"checkpoint dir {args.checkpoint_dir!r} does not exist "
+            "or is not a directory"
+        )
+    fault_plan = None
+    if args.fault_plan is not None:
+        fault_plan = FaultPlan.parse(args.fault_plan, seed=args.seed)
+    snapshot = load_latest_snapshot(args.checkpoint_dir)
+    result = resume_from_checkpoint(
+        args.checkpoint_dir, fault_plan=fault_plan, snapshot=snapshot
+    )
+    print(
+        format_table(
+            [
+                {
+                    "engine": snapshot.kind,
+                    "resumed_from": snapshot.superstep,
+                    "supersteps": result.num_supersteps,
+                    "halt_reason": result.halt_reason,
+                    "checkpoints": result.stats.checkpoints_written,
+                    "recoveries": result.stats.recoveries,
+                }
+            ],
+            title=f"Recovered run from {args.checkpoint_dir}",
+        )
+    )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point of the ``spinner-repro`` command."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "partition":
-        return _cmd_partition(args)
-    if args.command == "compare":
-        return _cmd_compare(args)
-    if args.command == "experiment":
-        return _cmd_experiment(args)
+    try:
+        if args.command == "partition":
+            return _cmd_partition(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+        if args.command == "recover":
+            return _cmd_recover(args)
+    except ReproError as exc:
+        # Library errors (bad fault specs, unreadable checkpoints, invalid
+        # configurations) are user errors at the CLI surface: one line, exit 2.
+        _fail(str(exc))
     parser.error(f"unknown command {args.command!r}")
     return 2
 

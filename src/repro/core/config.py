@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.errors import ConfigurationError
+from repro.faults import FaultPlan
 
 #: Paper defaults (Section V-A).
 DEFAULT_ADDITIONAL_CAPACITY = 1.05
@@ -79,6 +80,20 @@ class SpinnerConfig:
         orders of magnitude faster on large graphs.  Ignored by
         :class:`~repro.core.fast.FastSpinner`, which has its own
         ``kernel`` switch.
+    checkpoint_interval:
+        Snapshot the Pregel run into ``checkpoint_dir`` every this many
+        supersteps (superstep-boundary checkpointing, Giraph style).
+        Requires ``checkpoint_dir``; ``None`` disables checkpointing.
+        Honoured by the Pregel-backed partitioners
+        (:class:`~repro.core.spinner.SpinnerPartitioner` on either
+        engine); ignored by :class:`~repro.core.fast.FastSpinner`.
+    checkpoint_dir:
+        Directory for checkpoint snapshots (created if missing).
+    fault_plan:
+        Deterministic :class:`~repro.faults.FaultPlan` of injected worker
+        crashes and message-delivery failures; requires checkpointing,
+        because crashes recover from the latest checkpoint.  Excluded
+        from equality comparisons (it carries mutable firing counters).
     extra:
         Free-form experiment metadata (not interpreted by the algorithm;
         excluded from equality comparisons).
@@ -96,6 +111,9 @@ class SpinnerConfig:
     prefer_current_label: bool = True
     kernel: str = "frontier"
     engine: str = "dict"
+    checkpoint_interval: int | None = None
+    checkpoint_dir: str | None = None
+    fault_plan: FaultPlan | None = field(default=None, compare=False)
     extra: dict = field(default_factory=dict, compare=False)
 
     def __post_init__(self) -> None:
@@ -117,6 +135,19 @@ class SpinnerConfig:
             raise ConfigurationError("halt_window must be at least 1")
         if self.max_iterations < 1:
             raise ConfigurationError("max_iterations must be at least 1")
+        if (self.checkpoint_interval is None) != (self.checkpoint_dir is None):
+            raise ConfigurationError(
+                "checkpoint_interval and checkpoint_dir must be given together"
+            )
+        if self.checkpoint_interval is not None and self.checkpoint_interval < 1:
+            raise ConfigurationError(
+                f"checkpoint_interval must be >= 1, got {self.checkpoint_interval}"
+            )
+        if self.fault_plan is not None and self.checkpoint_interval is None:
+            raise ConfigurationError(
+                "a fault_plan requires checkpointing "
+                "(set checkpoint_interval and checkpoint_dir)"
+            )
 
     def with_options(self, **overrides) -> "SpinnerConfig":
         """Return a copy with some fields replaced."""

@@ -215,13 +215,17 @@ class SpinnerPartitioner:
         initial_assignment: dict[int, int],
     ) -> SpinnerResult:
         if self.engine == "vector":
-            assignment, master, pregel_result = self._run_vector(
+            assignment, pregel_result = self._run_vector(
                 graph, num_partitions, initial_assignment
             )
         else:
-            assignment, master, pregel_result = self._run_dict(
+            assignment, pregel_result = self._run_dict(
                 graph, num_partitions, initial_assignment
             )
+        # After a crash recovery the engine finished on restored objects;
+        # the result's master is the authoritative one, not the instance
+        # this method constructed.
+        master = pregel_result.master
         undirected = ensure_undirected(graph, self.config.direction_aware)
         phi = locality(undirected, assignment)
         rho = max_normalized_load(undirected, assignment, num_partitions)
@@ -240,7 +244,7 @@ class SpinnerPartitioner:
         graph: DiGraph | UndirectedGraph,
         num_partitions: int,
         initial_assignment: dict[int, int],
-    ) -> tuple[dict[int, int], SpinnerMasterCompute, PregelResult]:
+    ) -> tuple[dict[int, int], PregelResult]:
         """Execute on the per-vertex dictionary engine."""
         convert_directed = isinstance(graph, DiGraph)
         program = SpinnerProgram(
@@ -254,6 +258,9 @@ class SpinnerPartitioner:
             placement=self.placement,
             cost_model=self.cost_model,
             max_supersteps=program.superstep_bound(),
+            checkpoint_interval=self.config.checkpoint_interval,
+            checkpoint_dir=self.config.checkpoint_dir,
+            fault_plan=self.config.fault_plan,
         )
 
         def vertex_value(vertex_id: int) -> SpinnerVertexValue:
@@ -271,17 +278,20 @@ class SpinnerPartitioner:
             )
 
         pregel_result = engine.run(program, vertices, master=master)
+        # Read labels from the result's vertices, not the local dict: after
+        # a recovery they are different (restored) objects.
         assignment = {
-            vertex_id: vertex.value.label for vertex_id, vertex in vertices.items()
+            vertex_id: vertex.value.label
+            for vertex_id, vertex in pregel_result.vertices.items()
         }
-        return assignment, master, pregel_result
+        return assignment, pregel_result
 
     def _run_vector(
         self,
         graph: DiGraph | UndirectedGraph,
         num_partitions: int,
         initial_assignment: dict[int, int],
-    ) -> tuple[dict[int, int], SpinnerMasterCompute, VectorPregelResult]:
+    ) -> tuple[dict[int, int], VectorPregelResult]:
         """Execute on the array-native sharded vector engine."""
         convert_directed = isinstance(graph, DiGraph)
         program = BatchSpinnerProgram(
@@ -295,6 +305,9 @@ class SpinnerPartitioner:
             placement=self.placement,
             cost_model=self.cost_model,
             max_supersteps=program.superstep_bound(),
+            checkpoint_interval=self.config.checkpoint_interval,
+            checkpoint_dir=self.config.checkpoint_dir,
+            fault_plan=self.config.fault_plan,
         )
         spinner_shard = build_spinner_shard(engine, graph)
         original_ids = spinner_shard.shard.original_ids.tolist()
@@ -305,5 +318,10 @@ class SpinnerPartitioner:
         )
         program.bind(spinner_shard, initial_labels)
         pregel_result = engine.run(program, spinner_shard.shard, master=master)
-        assignment = dict(zip(original_ids, program.labels.tolist()))
-        return assignment, master, pregel_result
+        # Labels come from the result's value array (the batch program
+        # returns the label array as its values): after a recovery the
+        # local ``program`` is a stale copy of the restored run.
+        assignment = dict(
+            zip(original_ids, pregel_result.values.astype(np.int64).tolist())
+        )
+        return assignment, pregel_result

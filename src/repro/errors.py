@@ -55,5 +55,27 @@ class AggregatorError(PregelError):
     """Raised when an aggregator is redefined or used inconsistently."""
 
 
+class CheckpointError(PregelError):
+    """Raised when a checkpoint cannot be written, found or read back."""
+
+
+class RecoveryAbortedError(PregelError):
+    """Raised when a run exhausts its crash-recovery budget.
+
+    Carries the superstep of the fatal fault and the number of recoveries
+    already performed, so callers (and the CLI) can report a one-line
+    diagnosis instead of a traceback.
+    """
+
+    def __init__(self, superstep: int, recoveries: int) -> None:
+        super().__init__(
+            f"aborting after {recoveries} recover{'y' if recoveries == 1 else 'ies'}: "
+            f"crash budget exhausted by a fault at superstep {superstep}; "
+            "the latest checkpoint remains on disk for resume_from_checkpoint()"
+        )
+        self.superstep = superstep
+        self.recoveries = recoveries
+
+
 class ExperimentError(ReproError):
     """Raised when an experiment harness is configured incorrectly."""

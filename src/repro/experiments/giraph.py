@@ -20,6 +20,7 @@ from collections.abc import Mapping
 from dataclasses import dataclass
 
 from repro.errors import PregelError
+from repro.faults import FaultPlan
 from repro.graph.digraph import DiGraph
 from repro.graph.undirected import UndirectedGraph
 from repro.pregel.cost_model import ClusterCostModel, RunStats
@@ -79,6 +80,9 @@ def run_application(
     cost_model: ClusterCostModel | None = None,
     max_supersteps: int = 200,
     engine: str = "dict",
+    checkpoint_interval: int | None = None,
+    checkpoint_dir: str | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> ApplicationRun:
     """Run ``program`` on ``graph`` with hash or Spinner-driven placement.
 
@@ -86,7 +90,9 @@ def run_application(
     placement is used.  ``engine`` selects the runtime: ``"dict"`` executes
     a per-vertex :class:`VertexProgram` on :class:`PregelEngine`,
     ``"vector"`` executes a :class:`BatchVertexProgram` on the array-native
-    :class:`VectorPregelEngine`; both report the same statistics.
+    :class:`VectorPregelEngine`; both report the same statistics.  The
+    checkpoint/fault knobs are forwarded to the engine unchanged (see
+    :class:`PregelEngine`).
     """
     cost_model = cost_model or ClusterCostModel()
     if assignment is None:
@@ -103,6 +109,9 @@ def run_application(
             placement=placement,
             cost_model=cost_model,
             max_supersteps=max_supersteps,
+            checkpoint_interval=checkpoint_interval,
+            checkpoint_dir=checkpoint_dir,
+            fault_plan=fault_plan,
         )
     elif engine == "vector":
         if not isinstance(program, BatchVertexProgram):
@@ -112,6 +121,9 @@ def run_application(
             placement=placement,
             cost_model=cost_model,
             max_supersteps=max_supersteps,
+            checkpoint_interval=checkpoint_interval,
+            checkpoint_dir=checkpoint_dir,
+            fault_plan=fault_plan,
         )
     else:
         raise PregelError(f"unknown engine {engine!r} (expected 'dict' or 'vector')")

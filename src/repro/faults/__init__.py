@@ -1,0 +1,20 @@
+"""Deterministic fault injection for the simulated Pregel runtimes.
+
+See :mod:`repro.faults.plan` for the model: failures are declared as data
+(:class:`FaultPlan`), fire with finite budgets, and are seeded — so a
+crash-and-recover run is a reproducible test input rather than a flake.
+"""
+
+from repro.faults.plan import (
+    FaultPlan,
+    InjectedWorkerCrash,
+    MessageFault,
+    WorkerCrash,
+)
+
+__all__ = [
+    "FaultPlan",
+    "InjectedWorkerCrash",
+    "MessageFault",
+    "WorkerCrash",
+]

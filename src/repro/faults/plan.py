@@ -1,0 +1,250 @@
+"""Deterministic fault plans for the simulated Pregel runtimes.
+
+Pregel's fault-tolerance story (Malewicz et al., SIGMOD 2010, §4.2) is
+checkpoint at superstep boundaries and recover failed workers from the
+last checkpoint.  To test that story without flaky, timing-dependent
+kills, failures here are *data*: a :class:`FaultPlan` lists exactly which
+faults fire at which superstep, every fault has a finite firing budget,
+and retry backoff delays are drawn from a seeded RNG — so a faulted run
+is as reproducible as a clean one and can be pinned byte-identical to it
+after recovery.
+
+Two fault kinds are modelled:
+
+:class:`WorkerCrash`
+    A worker dies at the start of its turn in a superstep.  The engine
+    discards all partial superstep state and recovers from the latest
+    checkpoint (or aborts with
+    :class:`~repro.errors.RecoveryAbortedError` once the plan's
+    ``max_recoveries`` budget is spent).
+:class:`MessageFault`
+    Message delivery at the end of a superstep fails transiently a given
+    number of times.  The engine retries with exponential backoff
+    (simulated, recorded in the run statistics); when the failures exceed
+    ``max_delivery_retries`` the fault escalates to a worker crash and
+    takes the same recovery path.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+class InjectedWorkerCrash(Exception):
+    """Control-flow signal raised inside an engine when a fault fires.
+
+    Not part of the :class:`~repro.errors.ReproError` hierarchy on
+    purpose: user code should never catch it — the engine that injected
+    it recovers from (or aborts on) it itself.
+    """
+
+    def __init__(self, superstep: int, worker: int, reason: str = "injected crash") -> None:
+        super().__init__(f"{reason}: worker {worker} at superstep {superstep}")
+        self.superstep = superstep
+        self.worker = worker
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class WorkerCrash:
+    """Crash ``worker`` when superstep ``superstep`` reaches it.
+
+    ``times`` is the firing budget: after the fault has fired that many
+    times (each firing forces one recovery) it stays quiet, which is what
+    lets a recovered run replay past the crash site deterministically.
+    """
+
+    superstep: int
+    worker: int = 0
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        if self.superstep < 0:
+            raise ConfigurationError("crash superstep must be non-negative")
+        if self.worker < 0:
+            raise ConfigurationError("crash worker must be non-negative")
+        if self.times < 1:
+            raise ConfigurationError("crash times must be at least 1")
+
+
+@dataclass(frozen=True)
+class MessageFault:
+    """Fail message delivery at the end of ``superstep``.
+
+    ``failures`` consecutive delivery attempts fail before one succeeds;
+    if they exceed the plan's ``max_delivery_retries`` the fault
+    escalates to a crash.  ``times`` is the firing budget, as for
+    :class:`WorkerCrash`.
+    """
+
+    superstep: int
+    failures: int = 1
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        if self.superstep < 0:
+            raise ConfigurationError("message-fault superstep must be non-negative")
+        if self.failures < 1:
+            raise ConfigurationError("message-fault failures must be at least 1")
+        if self.times < 1:
+            raise ConfigurationError("message-fault times must be at least 1")
+
+
+class FaultPlan:
+    """A seeded, deterministic schedule of injected failures.
+
+    Parameters
+    ----------
+    crashes:
+        :class:`WorkerCrash` entries.
+    message_faults:
+        :class:`MessageFault` entries.
+    seed:
+        Seed of the RNG behind the backoff jitter; two runs of the same
+        plan produce identical backoff schedules.
+    max_recoveries:
+        Crash budget for one run: recovering more than this many times
+        raises :class:`~repro.errors.RecoveryAbortedError` instead of
+        looping forever.
+    max_delivery_retries:
+        Transient delivery failures tolerated per :class:`MessageFault`
+        before it escalates to a crash.
+    backoff_base:
+        Base delay (simulated seconds) of the exponential retry backoff.
+
+    The plan carries mutable firing counters; engines call :meth:`reset`
+    at the start of every run, so one plan instance can be reused across
+    runs (e.g. the dict and vector halves of an equivalence test).
+    """
+
+    def __init__(
+        self,
+        crashes: tuple[WorkerCrash, ...] | list[WorkerCrash] = (),
+        message_faults: tuple[MessageFault, ...] | list[MessageFault] = (),
+        seed: int = 0,
+        max_recoveries: int = 3,
+        max_delivery_retries: int = 3,
+        backoff_base: float = 0.05,
+    ) -> None:
+        if max_recoveries < 0:
+            raise ConfigurationError("max_recoveries must be non-negative")
+        if max_delivery_retries < 0:
+            raise ConfigurationError("max_delivery_retries must be non-negative")
+        if backoff_base <= 0:
+            raise ConfigurationError("backoff_base must be positive")
+        self.crashes = tuple(crashes)
+        self.message_faults = tuple(message_faults)
+        self.seed = seed
+        self.max_recoveries = max_recoveries
+        self.max_delivery_retries = max_delivery_retries
+        self.backoff_base = backoff_base
+        self.reset()
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Re-arm every fault and re-seed the backoff RNG (run start)."""
+        self._crash_fired = [0] * len(self.crashes)
+        self._fault_fired = [0] * len(self.message_faults)
+        self._rng = random.Random(self.seed)
+        self.backoff_log: list[float] = []
+
+    # ------------------------------------------------------------------
+    def crash_fires(self, superstep: int, worker: int) -> bool:
+        """Whether a crash fault fires for ``worker`` at ``superstep``.
+
+        Consumes one firing from the budget of the first matching entry;
+        deterministic because engines probe workers in a fixed order.
+        """
+        for index, crash in enumerate(self.crashes):
+            if (
+                crash.superstep == superstep
+                and crash.worker == worker
+                and self._crash_fired[index] < crash.times
+            ):
+                self._crash_fired[index] += 1
+                return True
+        return False
+
+    def delivery_failures(self, superstep: int) -> int:
+        """Transient delivery failures injected at ``superstep``'s barrier.
+
+        Consumes one firing from every matching :class:`MessageFault` and
+        returns the summed failure count (0 when nothing fires).
+        """
+        total = 0
+        for index, fault in enumerate(self.message_faults):
+            if (
+                fault.superstep == superstep
+                and self._fault_fired[index] < fault.times
+            ):
+                self._fault_fired[index] += 1
+                total += fault.failures
+        return total
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Simulated backoff before retry ``attempt`` (seeded jitter).
+
+        Exponential in the attempt index with a jitter factor in
+        ``[0.5, 1.0)`` drawn from the plan's RNG; the delay is recorded in
+        :attr:`backoff_log` and *not* slept — the engines account it, the
+        wall clock never pays it.
+        """
+        delay = self.backoff_base * (2**attempt) * (0.5 + self._rng.random() / 2.0)
+        self.backoff_log.append(delay)
+        return delay
+
+    # ------------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        """Whether the plan injects no faults at all."""
+        return not self.crashes and not self.message_faults
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0, **kwargs) -> "FaultPlan":
+        """Build a plan from a compact CLI spec string.
+
+        The spec is a comma-separated list of entries::
+
+            crash:SUPERSTEP[:WORKER[:TIMES]]
+            msg:SUPERSTEP[:FAILURES[:TIMES]]
+
+        e.g. ``"crash:2,msg:4:2"`` crashes worker 0 at superstep 2 and
+        injects two transient delivery failures at superstep 4.  Raises
+        :class:`~repro.errors.ConfigurationError` on malformed entries.
+        """
+        crashes: list[WorkerCrash] = []
+        message_faults: list[MessageFault] = []
+        for raw in spec.split(","):
+            entry = raw.strip()
+            if not entry:
+                continue
+            parts = entry.split(":")
+            kind = parts[0]
+            try:
+                numbers = [int(part) for part in parts[1:]]
+            except ValueError:
+                raise ConfigurationError(
+                    f"fault entry {entry!r}: fields after the kind must be integers"
+                ) from None
+            if kind == "crash" and 1 <= len(numbers) <= 3:
+                crashes.append(WorkerCrash(*numbers))
+            elif kind == "msg" and 1 <= len(numbers) <= 3:
+                message_faults.append(MessageFault(*numbers))
+            else:
+                raise ConfigurationError(
+                    f"fault entry {entry!r}: expected "
+                    "'crash:SUPERSTEP[:WORKER[:TIMES]]' or "
+                    "'msg:SUPERSTEP[:FAILURES[:TIMES]]'"
+                )
+        if not crashes and not message_faults:
+            raise ConfigurationError(f"fault plan spec {spec!r} contains no faults")
+        return cls(crashes=crashes, message_faults=message_faults, seed=seed, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"FaultPlan(crashes={self.crashes}, message_faults={self.message_faults}, "
+            f"seed={self.seed}, max_recoveries={self.max_recoveries})"
+        )

@@ -7,16 +7,68 @@ implements the equivalent plain-file formats:
 * *edge list*: one ``source target`` (optionally ``source target weight``)
   pair per line, ``#`` comments allowed;
 * *partitioning file*: one ``vertex_id partition`` pair per line.
+
+All writers are *atomic*: content goes to a temporary file in the target
+directory which is renamed over the destination with :func:`os.replace`
+only once fully written, so a crash mid-write can never leave a truncated
+edge list, partitioning, checkpoint snapshot or ``BENCH_*.json`` behind —
+the destination either keeps its previous content or holds the complete
+new one.  :func:`atomic_open` / :func:`atomic_write_text` /
+:func:`atomic_write_bytes` expose the same guarantee to the checkpoint
+subsystem (:mod:`repro.pregel.checkpoint`) and the benchmark emitters.
 """
 
 from __future__ import annotations
 
 import os
-from collections.abc import Iterable, Mapping
+from collections.abc import Iterable, Iterator, Mapping
+from contextlib import contextmanager
+from typing import IO
 
 from repro.errors import GraphFormatError
 from repro.graph.digraph import DiGraph
 from repro.graph.undirected import UndirectedGraph
+
+
+@contextmanager
+def atomic_open(path: str | os.PathLike, mode: str = "w") -> Iterator[IO]:
+    """Open ``path`` for atomic writing (write-to-temp + ``os.replace``).
+
+    Yields a handle onto a temporary file next to ``path`` (same
+    filesystem, so the final rename is atomic).  On clean exit the
+    temporary file is flushed, synced and renamed over ``path``; on an
+    exception it is removed and ``path`` is left untouched.  ``mode``
+    must be a write mode (``"w"`` or ``"wb"``).
+    """
+    if mode not in ("w", "wb"):
+        raise ValueError(f"atomic_open requires mode 'w' or 'wb', got {mode!r}")
+    destination = os.fspath(path)
+    temporary = f"{destination}.tmp.{os.getpid()}"
+    encoding = "utf-8" if mode == "w" else None
+    handle = open(temporary, mode, encoding=encoding)
+    try:
+        yield handle
+        handle.flush()
+        os.fsync(handle.fileno())
+    except BaseException:
+        handle.close()
+        if os.path.exists(temporary):
+            os.remove(temporary)
+        raise
+    handle.close()
+    os.replace(temporary, destination)
+
+
+def atomic_write_text(path: str | os.PathLike, text: str) -> None:
+    """Atomically replace ``path``'s content with ``text`` (UTF-8)."""
+    with atomic_open(path, "w") as handle:
+        handle.write(text)
+
+
+def atomic_write_bytes(path: str | os.PathLike, data: bytes) -> None:
+    """Atomically replace ``path``'s content with ``data``."""
+    with atomic_open(path, "wb") as handle:
+        handle.write(data)
 
 
 def _parse_edge_line(line: str, line_number: int) -> tuple[int, int, int] | None:
@@ -67,16 +119,16 @@ def read_undirected_edge_list(path: str | os.PathLike) -> UndirectedGraph:
 
 
 def write_directed_edge_list(graph: DiGraph, path: str | os.PathLike) -> None:
-    """Write a directed graph as a ``source target`` edge list."""
-    with open(path, "w", encoding="utf-8") as handle:
+    """Write a directed graph as a ``source target`` edge list (atomically)."""
+    with atomic_open(path, "w") as handle:
         handle.write("# directed edge list: source target\n")
         for source, target in graph.edges():
             handle.write(f"{source} {target}\n")
 
 
 def write_undirected_edge_list(graph: UndirectedGraph, path: str | os.PathLike) -> None:
-    """Write an undirected graph as a ``u v weight`` edge list."""
-    with open(path, "w", encoding="utf-8") as handle:
+    """Write an undirected graph as a ``u v weight`` edge list (atomically)."""
+    with atomic_open(path, "w") as handle:
         handle.write("# undirected edge list: u v weight\n")
         for u, v, weight in graph.edges():
             handle.write(f"{u} {v} {weight}\n")
@@ -85,8 +137,8 @@ def write_undirected_edge_list(graph: UndirectedGraph, path: str | os.PathLike) 
 def write_partitioning(
     assignment: Mapping[int, int], path: str | os.PathLike
 ) -> None:
-    """Write a ``vertex_id partition`` file, sorted by vertex id."""
-    with open(path, "w", encoding="utf-8") as handle:
+    """Write a ``vertex_id partition`` file, sorted by id (atomically)."""
+    with atomic_open(path, "w") as handle:
         handle.write("# partitioning: vertex_id partition\n")
         for vertex_id in sorted(assignment):
             handle.write(f"{vertex_id} {assignment[vertex_id]}\n")

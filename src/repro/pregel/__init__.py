@@ -24,6 +24,12 @@ per vertex per superstep) and the array-native sharded vector engine
 compute per superstep over NumPy arrays) — same semantics, same
 statistics, different program interface and orders of magnitude apart in
 throughput.
+
+Both runtimes share the fault-tolerance subsystem
+(:mod:`repro.pregel.checkpoint` + :mod:`repro.faults`): superstep-boundary
+checkpointing, deterministic fault injection and crash recovery with a
+bit-exactness contract — a faulted-and-recovered run matches the
+uninterrupted one byte for byte.
 """
 
 from repro.pregel.aggregators import (
@@ -32,6 +38,13 @@ from repro.pregel.aggregators import (
     LongSumAggregator,
     MaxAggregator,
     MinAggregator,
+)
+from repro.pregel.checkpoint import (
+    CheckpointManager,
+    Snapshot,
+    load_latest_snapshot,
+    load_snapshot,
+    resume_from_checkpoint,
 )
 from repro.pregel.cost_model import ClusterCostModel, SuperstepStats
 from repro.pregel.engine import PregelEngine, PregelResult
@@ -54,6 +67,7 @@ __all__ = [
     "BatchComputeContext",
     "BatchStep",
     "BatchVertexProgram",
+    "CheckpointManager",
     "ClusterCostModel",
     "ComputeContext",
     "DeliveredMessages",
@@ -66,9 +80,13 @@ __all__ = [
     "PregelEngine",
     "PregelResult",
     "ShardedGraph",
+    "Snapshot",
     "SuperstepStats",
     "VectorPregelEngine",
     "VectorPregelResult",
     "Vertex",
     "VertexProgram",
+    "load_latest_snapshot",
+    "load_snapshot",
+    "resume_from_checkpoint",
 ]

@@ -126,6 +126,15 @@ class RunStats:
     #: (only ever non-zero when the engine runs with ``drop_unknown_targets``;
     #: by default such messages raise :class:`~repro.errors.PregelError`).
     messages_dropped: int = 0
+    #: Checkpoint snapshots written during the run (0 unless checkpointing
+    #: is enabled).  These three counters are recovery *bookkeeping*: they
+    #: describe how the run executed, not what it computed, and are
+    #: excluded from the recovery bit-exactness contract.
+    checkpoints_written: int = 0
+    #: Crash recoveries performed during the run (injected faults only).
+    recoveries: int = 0
+    #: Transient message-delivery failures absorbed by (simulated) retries.
+    delivery_retries: int = 0
 
     @property
     def num_supersteps(self) -> int:

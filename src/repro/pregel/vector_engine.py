@@ -28,16 +28,26 @@ this contract and ``benchmarks/test_pregel_speed.py`` tracks the speedup.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Any, ClassVar
 
 import numpy as np
 
-from repro.errors import PregelError
+from repro.errors import PregelError, RecoveryAbortedError
+from repro.faults import FaultPlan, InjectedWorkerCrash
 from repro.graph.csr import CSRGraph, build_csr_arrays
 from repro.graph.digraph import DiGraph
 from repro.graph.undirected import UndirectedGraph
 from repro.pregel.aggregators import AggregatorRegistry
+from repro.pregel.checkpoint import (
+    VECTOR_KIND,
+    CheckpointManager,
+    RecoveryBookkeeping,
+    Snapshot,
+    apply_delivery_faults,
+    validate_fault_tolerance_args as _validate_fault_tolerance_args,
+)
 from repro.pregel.cost_model import (
     ClusterCostModel,
     RunStats,
@@ -361,8 +371,39 @@ class BatchVertexProgram:
 
 
 @dataclass
+class _VectorRunState:
+    """Everything the vector engine needs to continue a run.
+
+    The checkpoint counterpart of ``engine._DictRunState``: the dynamic
+    arrays (vertex values, halted mask, combined in-flight messages) plus
+    the object state (program, master, aggregators and history, run
+    statistics, worker stores).  The static :class:`ShardedGraph` is
+    *not* here — it never changes during a run, so snapshots store its
+    arrays once per checkpoint directory (``shard.npz``) instead of once
+    per snapshot.
+    """
+
+    program: BatchVertexProgram
+    master: MasterCompute | None
+    values: np.ndarray
+    halted: np.ndarray
+    incoming: DeliveredMessages
+    run_stats: RunStats
+    aggregators: AggregatorRegistry
+    aggregator_history: dict[str, list[Any]]
+    worker_stores: list[dict[str, Any]]
+    superstep: int = 0
+
+
+@dataclass
 class VectorPregelResult:
-    """Outcome of a vector-engine run (mirrors :class:`PregelResult`)."""
+    """Outcome of a vector-engine run (mirrors :class:`PregelResult`).
+
+    As with the dictionary engine, a crash recovery restores the run from
+    a checkpoint: the program/master objects the caller passed in may end
+    up stale copies, so final state must be read from the result
+    (``values``, ``master``), never from the inputs.
+    """
 
     values: np.ndarray
     original_ids: np.ndarray
@@ -371,6 +412,9 @@ class VectorPregelResult:
     aggregators: AggregatorRegistry
     aggregator_history: dict[str, list[Any]]
     halt_reason: str = "converged"
+    #: The master compute the run actually finished with (``None`` when
+    #: the run had no master); after a recovery, the restored instance.
+    master: MasterCompute | None = None
 
     def vertex_values(self) -> dict[int, Any]:
         """Mapping of original vertex id to final value (as floats)."""
@@ -397,16 +441,23 @@ class VectorPregelEngine:
         cost_model: ClusterCostModel | None = None,
         max_supersteps: int = 500,
         drop_unknown_targets: bool = False,
+        checkpoint_interval: int | None = None,
+        checkpoint_dir: str | os.PathLike | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if num_workers <= 0:
             raise PregelError("num_workers must be positive")
         if max_supersteps <= 0:
             raise PregelError("max_supersteps must be positive")
+        _validate_fault_tolerance_args(checkpoint_interval, checkpoint_dir, fault_plan)
         self.num_workers = num_workers
         self.placement = placement if placement is not None else hash_placement(num_workers)
         self.cost_model = cost_model if cost_model is not None else ClusterCostModel()
         self.max_supersteps = max_supersteps
         self.drop_unknown_targets = drop_unknown_targets
+        self.checkpoint_interval = checkpoint_interval
+        self.checkpoint_dir = checkpoint_dir
+        self.fault_plan = fault_plan
 
     # ------------------------------------------------------------------
     # graph loading
@@ -511,7 +562,13 @@ class VectorPregelEngine:
         shard: ShardedGraph,
         master: MasterCompute | None = None,
     ) -> VectorPregelResult:
-        """Execute ``program`` over ``shard`` until convergence."""
+        """Execute ``program`` over ``shard`` until convergence.
+
+        When checkpointing is enabled and a fault recovery occurred, the
+        run continues on state restored from a snapshot — read final
+        state from the returned :class:`VectorPregelResult` (``values``,
+        ``master``), not from the ``program``/``master`` arguments.
+        """
         combine = program.combine
         if combine not in ("sum", "min"):
             raise PregelError(f"unsupported combine mode {combine!r}")
@@ -522,25 +579,195 @@ class VectorPregelEngine:
         if master is not None:
             master.initialize(aggregators)
 
-        worker_stores: list[dict[str, Any]] = [{} for _ in range(self.num_workers)]
-        values = np.zeros(num_vertices, dtype=np.float64)
-        halted = np.zeros(num_vertices, dtype=bool)
-        incoming = DeliveredMessages(
-            np.zeros(num_vertices, dtype=bool),
-            _neutral_payload(combine, num_vertices),
-            0,
+        state = _VectorRunState(
+            program=program,
+            master=master,
+            values=np.zeros(num_vertices, dtype=np.float64),
+            halted=np.zeros(num_vertices, dtype=bool),
+            incoming=DeliveredMessages(
+                np.zeros(num_vertices, dtype=bool),
+                _neutral_payload(combine, num_vertices),
+                0,
+            ),
+            run_stats=RunStats(),
+            aggregators=aggregators,
+            aggregator_history={name: [] for name in aggregators.names()},
+            worker_stores=[{} for _ in range(self.num_workers)],
         )
-        run_stats = RunStats()
-        aggregator_history: dict[str, list[Any]] = {
-            name: [] for name in aggregators.names()
+        manager = None
+        if self.checkpoint_interval is not None:
+            manager = CheckpointManager(
+                self.checkpoint_dir, self.checkpoint_interval, VECTOR_KIND
+            )
+        if self.fault_plan is not None:
+            self.fault_plan.reset()
+        return self._execute(
+            state, shard, manager, self.fault_plan, RecoveryBookkeeping()
+        )
+
+    def _execute(
+        self,
+        state: _VectorRunState,
+        shard: ShardedGraph,
+        manager: CheckpointManager | None,
+        plan: FaultPlan | None,
+        bookkeeping: RecoveryBookkeeping,
+    ) -> VectorPregelResult:
+        """Run to completion, recovering injected crashes from snapshots.
+
+        Mirrors ``PregelEngine._execute``: a crash rolls back to the
+        latest snapshot written this run; an exhausted ``max_recoveries``
+        budget aborts with :class:`~repro.errors.RecoveryAbortedError`,
+        leaving the checkpoint directory ready for
+        :func:`~repro.pregel.checkpoint.resume_from_checkpoint`.
+        """
+        while True:
+            try:
+                return self._superstep_loop(state, shard, manager, plan, bookkeeping)
+            except InjectedWorkerCrash as crash:
+                bookkeeping.recoveries += 1
+                if plan is None or bookkeeping.recoveries > plan.max_recoveries:
+                    raise RecoveryAbortedError(
+                        crash.superstep, bookkeeping.recoveries - 1
+                    ) from crash
+                snapshot = manager.load_latest(this_run_only=True)
+                state = self._state_from_snapshot(snapshot)
+
+    def _engine_params(self) -> dict[str, Any]:
+        """Constructor arguments a snapshot needs to rebuild this engine.
+
+        As in the dictionary engine, the placement function is excluded:
+        the shard's ``worker_of`` array already encodes the placement.
+        """
+        return {
+            "num_workers": self.num_workers,
+            "cost_model": self.cost_model,
+            "max_supersteps": self.max_supersteps,
+            "drop_unknown_targets": self.drop_unknown_targets,
         }
+
+    @staticmethod
+    def _state_from_snapshot(snapshot: Snapshot) -> _VectorRunState:
+        """Rebuild a :class:`_VectorRunState` from a loaded snapshot."""
+        arrays = snapshot.arrays
+        objects = snapshot.objects
+        return _VectorRunState(
+            program=objects["program"],
+            master=objects["master"],
+            values=arrays["values"],
+            halted=arrays["halted"],
+            incoming=DeliveredMessages(
+                arrays["msg_has"], arrays["msg_payload"], int(objects["msg_count"])
+            ),
+            run_stats=objects["run_stats"],
+            aggregators=objects["aggregators"],
+            aggregator_history=objects["aggregator_history"],
+            worker_stores=objects["worker_stores"],
+            superstep=snapshot.superstep,
+        )
+
+    @classmethod
+    def _resume_from_snapshot(
+        cls,
+        snapshot: Snapshot,
+        checkpoint_dir: str | os.PathLike,
+        fault_plan: FaultPlan | None = None,
+    ) -> VectorPregelResult:
+        """Rebuild engine and shard from ``checkpoint_dir`` and finish.
+
+        The static CSR arrays come from the directory's ``shard.npz``;
+        :class:`ShardedGraph` recomputes its canonical orderings from
+        them deterministically (stable argsorts), so a resumed run sends
+        and aggregates in exactly the original order.
+        """
+        params = snapshot.engine_params
+        engine = cls(
+            num_workers=params["num_workers"],
+            cost_model=params["cost_model"],
+            max_supersteps=params["max_supersteps"],
+            drop_unknown_targets=params["drop_unknown_targets"],
+            checkpoint_interval=snapshot.interval,
+            checkpoint_dir=checkpoint_dir,
+            fault_plan=fault_plan,
+        )
+        manager = CheckpointManager(checkpoint_dir, snapshot.interval, VECTOR_KIND)
+        manager._written.add(snapshot.superstep)
+        shard_arrays = manager.load_shard_arrays()
+        shard = ShardedGraph(
+            shard_arrays["indptr"],
+            shard_arrays["targets"],
+            shard_arrays["weights"],
+            shard_arrays["original_ids"],
+            shard_arrays["worker_of"],
+            int(shard_arrays["num_workers"][0]),
+        )
+        if fault_plan is not None:
+            fault_plan.reset()
+        state = cls._state_from_snapshot(snapshot)
+        return engine._execute(state, shard, manager, fault_plan, RecoveryBookkeeping())
+
+    @staticmethod
+    def _shard_arrays(shard: ShardedGraph) -> dict[str, np.ndarray]:
+        """The static shard arrays persisted once per checkpoint dir."""
+        return {
+            "indptr": shard.indptr,
+            "targets": shard.adj_targets,
+            "weights": shard.adj_weights,
+            "original_ids": shard.original_ids,
+            "worker_of": shard.worker_of,
+            "num_workers": np.array([shard.num_workers], dtype=np.int64),
+        }
+
+    def _superstep_loop(
+        self,
+        state: _VectorRunState,
+        shard: ShardedGraph,
+        manager: CheckpointManager | None,
+        plan: FaultPlan | None,
+        bookkeeping: RecoveryBookkeeping,
+    ) -> VectorPregelResult:
+        program = state.program
+        combine = program.combine
+        master = state.master
+        worker_stores = state.worker_stores
+        run_stats = state.run_stats
+        aggregators = state.aggregators
+        aggregator_history = state.aggregator_history
+        num_vertices = shard.num_vertices
         halt_reason = "converged"
 
-        superstep = 0
         while True:
+            superstep = state.superstep
             if superstep >= self.max_supersteps:
                 halt_reason = "max_supersteps"
                 break
+
+            # Superstep-boundary checkpoint, before the master computes
+            # (mirrors the dictionary engine; see its _superstep_loop).
+            if manager is not None and manager.due(superstep):
+                arrays = {
+                    "values": state.values,
+                    "halted": state.halted,
+                    "msg_has": state.incoming.has_message,
+                    "msg_payload": state.incoming.payload,
+                }
+                objects = {
+                    "program": program,
+                    "master": master,
+                    "msg_count": state.incoming.count,
+                    "run_stats": run_stats,
+                    "aggregators": aggregators,
+                    "aggregator_history": aggregator_history,
+                    "worker_stores": worker_stores,
+                }
+                if manager.save_vector(
+                    superstep,
+                    arrays,
+                    objects,
+                    self._engine_params(),
+                    self._shard_arrays(shard),
+                ):
+                    bookkeeping.checkpoints_written += 1
 
             if master is not None:
                 master.compute(superstep, aggregators)
@@ -548,24 +775,36 @@ class VectorPregelEngine:
                     halt_reason = "master_halt"
                     break
 
-            any_active = bool((~halted).any())
-            if superstep > 0 and incoming.count == 0 and not any_active:
+            any_active = bool((~state.halted).any())
+            if superstep > 0 and state.incoming.count == 0 and not any_active:
                 halt_reason = "converged"
                 break
 
+            # Probe the crash plan in worker order before the batch
+            # compute: the batch is one barrier, so a crashing worker
+            # takes the whole superstep down, but the budget consumption
+            # order matches the dictionary engine's per-worker probes.
+            if plan is not None:
+                for worker in range(self.num_workers):
+                    if plan.crash_fires(superstep, worker):
+                        raise InjectedWorkerCrash(superstep, worker)
+
+            incoming = state.incoming
             # A message re-activates its target; already-active vertices
             # compute regardless.
-            computed = incoming.has_message | ~halted
+            computed = incoming.has_message | ~state.halted
 
             for store in worker_stores:
                 store.clear()
                 program.pre_superstep(superstep, store, aggregators)
 
-            ctx = BatchComputeContext(superstep, shard, values, computed, aggregators)
+            ctx = BatchComputeContext(
+                superstep, shard, state.values, computed, aggregators
+            )
             step = program.compute_batch(shard, incoming, ctx)
             values = np.asarray(step.values, dtype=np.float64)
             votes = np.asarray(step.votes, dtype=bool)
-            halted = np.where(computed, votes, halted)
+            halted = np.where(computed, votes, state.halted)
 
             # Unknown-target mask, computed once and shared by the
             # statistics and delivery passes.
@@ -585,19 +824,31 @@ class VectorPregelEngine:
             for name in aggregators.names():
                 aggregator_history.setdefault(name, []).append(aggregators.value(name))
 
-            incoming = self._deliver(
+            delivered = self._deliver(
                 shard, outbox, unknown, combine, run_stats, superstep
             )
-            superstep += 1
+            # The synchronous barrier: transient delivery faults retry
+            # here (simulated backoff) and may escalate to a crash.
+            if plan is not None:
+                apply_delivery_faults(plan, superstep, bookkeeping)
 
+            state.values = values
+            state.halted = halted
+            state.incoming = delivered
+            state.superstep = superstep + 1
+
+        run_stats.checkpoints_written = bookkeeping.checkpoints_written
+        run_stats.recoveries = bookkeeping.recoveries
+        run_stats.delivery_retries = bookkeeping.delivery_retries
         return VectorPregelResult(
-            values=values,
+            values=state.values,
             original_ids=shard.original_ids,
-            num_supersteps=superstep,
+            num_supersteps=state.superstep,
             stats=run_stats,
             aggregators=aggregators,
             aggregator_history=aggregator_history,
             halt_reason=halt_reason,
+            master=master,
         )
 
     # ------------------------------------------------------------------

@@ -147,3 +147,125 @@ def test_partition_stream_order_rejected_when_unsupported():
 def test_missing_graph_source_errors():
     with pytest.raises(SystemExit):
         main(["partition", "-k", "2"])
+
+
+# ----------------------------------------------------------------------
+# checkpoint / recovery flags
+# ----------------------------------------------------------------------
+def _edge_file(tmp_path):
+    graph = DiGraph.from_edges(
+        [(i, (i + 1) % 20) for i in range(20)] + [(i, (i + 3) % 20) for i in range(20)]
+    )
+    edge_file = tmp_path / "graph.edges"
+    write_directed_edge_list(graph, edge_file)
+    return edge_file
+
+
+def test_partition_with_checkpointing_and_recover(tmp_path, capsys):
+    edge_file = _edge_file(tmp_path)
+    ckpt_dir = tmp_path / "ckpt"
+    code = main(
+        [
+            "partition",
+            "--edge-list",
+            str(edge_file),
+            "-k",
+            "2",
+            "--partitioner",
+            "spinner-pregel",
+            "--checkpoint-interval",
+            "2",
+            "--checkpoint-dir",
+            str(ckpt_dir),
+            "--fault-plan",
+            "crash:2",
+        ]
+    )
+    assert code == 0
+    assert list(ckpt_dir.glob("checkpoint_*.pkl"))
+    capsys.readouterr()
+
+    code = main(["recover", str(ckpt_dir)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "dict" in out
+    assert "halt_reason" in out
+
+
+def _exits_with_code_2(argv):
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 2
+
+
+def test_fault_plan_requires_checkpointing(tmp_path):
+    edge_file = _edge_file(tmp_path)
+    _exits_with_code_2(
+        [
+            "partition",
+            "--edge-list",
+            str(edge_file),
+            "-k",
+            "2",
+            "--partitioner",
+            "spinner-pregel",
+            "--fault-plan",
+            "crash:1",
+        ]
+    )
+
+
+def test_checkpoint_flags_must_come_in_pairs(tmp_path):
+    edge_file = _edge_file(tmp_path)
+    base = ["partition", "--edge-list", str(edge_file), "-k", "2",
+            "--partitioner", "spinner-pregel"]
+    _exits_with_code_2(base + ["--checkpoint-interval", "2"])
+    _exits_with_code_2(base + ["--checkpoint-dir", str(tmp_path / "ck")])
+
+
+def test_checkpointing_rejected_for_non_pregel_partitioner(tmp_path):
+    edge_file = _edge_file(tmp_path)
+    _exits_with_code_2(
+        [
+            "partition",
+            "--edge-list",
+            str(edge_file),
+            "-k",
+            "2",
+            "--partitioner",
+            "spinner",
+            "--checkpoint-interval",
+            "2",
+            "--checkpoint-dir",
+            str(tmp_path / "ck"),
+        ]
+    )
+
+
+def test_malformed_fault_plan_exits_2(tmp_path):
+    edge_file = _edge_file(tmp_path)
+    _exits_with_code_2(
+        [
+            "partition",
+            "--edge-list",
+            str(edge_file),
+            "-k",
+            "2",
+            "--partitioner",
+            "spinner-pregel",
+            "--checkpoint-interval",
+            "2",
+            "--checkpoint-dir",
+            str(tmp_path / "ck"),
+            "--fault-plan",
+            "kaboom:3",
+        ]
+    )
+
+
+def test_recover_rejects_missing_directory(tmp_path):
+    _exits_with_code_2(["recover", str(tmp_path / "nope")])
+
+
+def test_recover_rejects_empty_directory(tmp_path):
+    _exits_with_code_2(["recover", str(tmp_path)])

@@ -1,0 +1,164 @@
+"""Tests for the deterministic fault-injection plans."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ReproError
+from repro.faults import FaultPlan, InjectedWorkerCrash, MessageFault, WorkerCrash
+
+
+# ----------------------------------------------------------------------
+# parsing
+# ----------------------------------------------------------------------
+def test_parse_crash_and_message_entries():
+    plan = FaultPlan.parse("crash:2,msg:4:2")
+    assert plan.crashes == (WorkerCrash(superstep=2, worker=0, times=1),)
+    assert plan.message_faults == (MessageFault(superstep=4, failures=2, times=1),)
+
+
+def test_parse_full_crash_entry():
+    plan = FaultPlan.parse("crash:3:1:2")
+    assert plan.crashes == (WorkerCrash(superstep=3, worker=1, times=2),)
+
+
+def test_parse_ignores_blank_entries():
+    plan = FaultPlan.parse("crash:1, ,msg:2")
+    assert len(plan.crashes) == 1
+    assert len(plan.message_faults) == 1
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "boom:1",            # unknown kind
+        "crash",             # missing superstep
+        "crash:one",         # non-integer
+        "crash:1:2:3:4",     # too many fields
+        "msg:",              # empty field
+        "",                  # no faults at all
+        " , ",               # only blanks
+    ],
+)
+def test_parse_rejects_malformed_specs(spec):
+    with pytest.raises(ConfigurationError):
+        FaultPlan.parse(spec)
+
+
+# ----------------------------------------------------------------------
+# entry validation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"superstep": -1},
+        {"superstep": 0, "worker": -1},
+        {"superstep": 0, "times": 0},
+    ],
+)
+def test_worker_crash_validation(kwargs):
+    with pytest.raises(ConfigurationError):
+        WorkerCrash(**kwargs)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"superstep": -1},
+        {"superstep": 0, "failures": 0},
+        {"superstep": 0, "times": 0},
+    ],
+)
+def test_message_fault_validation(kwargs):
+    with pytest.raises(ConfigurationError):
+        MessageFault(**kwargs)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"max_recoveries": -1},
+        {"max_delivery_retries": -1},
+        {"backoff_base": 0.0},
+    ],
+)
+def test_plan_validation(kwargs):
+    with pytest.raises(ConfigurationError):
+        FaultPlan(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# firing budgets
+# ----------------------------------------------------------------------
+def test_crash_fires_consumes_budget():
+    plan = FaultPlan(crashes=(WorkerCrash(superstep=2, worker=1, times=2),))
+    assert not plan.crash_fires(2, 0)      # wrong worker
+    assert not plan.crash_fires(1, 1)      # wrong superstep
+    assert plan.crash_fires(2, 1)          # first firing
+    assert plan.crash_fires(2, 1)          # second firing (times=2)
+    assert not plan.crash_fires(2, 1)      # budget exhausted
+
+
+def test_reset_rearms_budgets():
+    plan = FaultPlan(crashes=(WorkerCrash(superstep=0),))
+    assert plan.crash_fires(0, 0)
+    assert not plan.crash_fires(0, 0)
+    plan.reset()
+    assert plan.crash_fires(0, 0)
+
+
+def test_delivery_failures_sum_and_consume():
+    plan = FaultPlan(
+        message_faults=(
+            MessageFault(superstep=3, failures=2),
+            MessageFault(superstep=3, failures=1),
+            MessageFault(superstep=5, failures=1),
+        )
+    )
+    assert plan.delivery_failures(3) == 3  # both superstep-3 entries fire
+    assert plan.delivery_failures(3) == 0  # budgets consumed
+    assert plan.delivery_failures(5) == 1
+
+
+# ----------------------------------------------------------------------
+# backoff determinism
+# ----------------------------------------------------------------------
+def test_backoff_is_seeded_and_logged():
+    a = FaultPlan(message_faults=(MessageFault(superstep=0),), seed=11)
+    b = FaultPlan(message_faults=(MessageFault(superstep=0),), seed=11)
+    delays_a = [a.backoff_delay(i) for i in range(4)]
+    delays_b = [b.backoff_delay(i) for i in range(4)]
+    assert delays_a == delays_b
+    assert a.backoff_log == delays_a
+    for attempt, delay in enumerate(delays_a):
+        base = a.backoff_base * 2**attempt
+        assert base * 0.5 <= delay < base
+
+
+def test_different_seeds_differ():
+    a = FaultPlan(message_faults=(MessageFault(superstep=0),), seed=1)
+    b = FaultPlan(message_faults=(MessageFault(superstep=0),), seed=2)
+    assert a.backoff_delay(0) != b.backoff_delay(0)
+
+
+def test_reset_reseeds_backoff():
+    plan = FaultPlan(message_faults=(MessageFault(superstep=0),), seed=3)
+    first = plan.backoff_delay(0)
+    plan.reset()
+    assert plan.backoff_delay(0) == first
+    assert plan.backoff_log == [first]
+
+
+# ----------------------------------------------------------------------
+# misc
+# ----------------------------------------------------------------------
+def test_is_empty():
+    assert FaultPlan().is_empty
+    assert not FaultPlan(crashes=(WorkerCrash(superstep=0),)).is_empty
+
+
+def test_injected_crash_is_not_a_repro_error():
+    # User code catching ReproError must never swallow the engine's
+    # internal recovery signal.
+    crash = InjectedWorkerCrash(3, 1)
+    assert not isinstance(crash, ReproError)
+    assert crash.superstep == 3
+    assert crash.worker == 1

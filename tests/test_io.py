@@ -5,6 +5,9 @@ import pytest
 from repro.errors import GraphFormatError
 from repro.graph.digraph import DiGraph
 from repro.graph.io import (
+    atomic_open,
+    atomic_write_bytes,
+    atomic_write_text,
     read_directed_edge_list,
     read_partitioning,
     read_undirected_edge_list,
@@ -72,3 +75,45 @@ def test_undirected_reader_skips_self_loops(tmp_path):
     path.write_text("0 0\n0 1\n")
     graph = read_undirected_edge_list(path)
     assert graph.num_edges == 1
+
+
+# ----------------------------------------------------------------------
+# atomic writes
+# ----------------------------------------------------------------------
+def test_atomic_write_text_roundtrip(tmp_path):
+    path = tmp_path / "out.txt"
+    atomic_write_text(path, "hello\n")
+    assert path.read_text() == "hello\n"
+
+
+def test_atomic_write_bytes_roundtrip(tmp_path):
+    path = tmp_path / "out.bin"
+    atomic_write_bytes(path, b"\x00\x01\x02")
+    assert path.read_bytes() == b"\x00\x01\x02"
+
+
+def test_atomic_open_rejects_read_modes(tmp_path):
+    with pytest.raises(ValueError):
+        with atomic_open(tmp_path / "out.txt", "r"):
+            pass
+
+
+def test_interrupted_write_preserves_previous_content(tmp_path):
+    path = tmp_path / "out.txt"
+    path.write_text("previous\n")
+    with pytest.raises(RuntimeError):
+        with atomic_open(path) as handle:
+            handle.write("half a new fi")
+            raise RuntimeError("simulated crash mid-write")
+    assert path.read_text() == "previous\n"
+    assert list(tmp_path.iterdir()) == [path]
+
+
+def test_interrupted_write_creates_nothing_for_new_file(tmp_path):
+    path = tmp_path / "fresh.txt"
+    with pytest.raises(RuntimeError):
+        with atomic_open(path) as handle:
+            handle.write("doomed")
+            raise RuntimeError("simulated crash mid-write")
+    assert not path.exists()
+    assert list(tmp_path.iterdir()) == []
