@@ -83,6 +83,7 @@ def run_application(
     checkpoint_interval: int | None = None,
     checkpoint_dir: str | None = None,
     fault_plan: FaultPlan | None = None,
+    parallel: int = 1,
 ) -> ApplicationRun:
     """Run ``program`` on ``graph`` with hash or Spinner-driven placement.
 
@@ -92,9 +93,15 @@ def run_application(
     ``"vector"`` executes a :class:`BatchVertexProgram` on the array-native
     :class:`VectorPregelEngine`; both report the same statistics.  The
     checkpoint/fault knobs are forwarded to the engine unchanged (see
-    :class:`PregelEngine`).
+    :class:`PregelEngine`).  ``parallel`` selects the vector engine's
+    shared-memory multiprocess executor (bit-exact with serial); the
+    dictionary engine rejects values greater than 1.
     """
     cost_model = cost_model or ClusterCostModel()
+    if parallel > 1 and engine != "vector":
+        raise PregelError(
+            f"parallel execution requires the vector engine (got engine={engine!r})"
+        )
     if assignment is None:
         placement = hash_placement(num_workers)
         placement_name = "hash"
@@ -124,6 +131,7 @@ def run_application(
             checkpoint_interval=checkpoint_interval,
             checkpoint_dir=checkpoint_dir,
             fault_plan=fault_plan,
+            parallel=parallel,
         )
     else:
         raise PregelError(f"unknown engine {engine!r} (expected 'dict' or 'vector')")

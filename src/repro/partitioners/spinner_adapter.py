@@ -52,7 +52,9 @@ class SpinnerPregelAdapter(Partitioner):
     The ``engine`` argument selects the runtime — ``"dict"`` for the
     per-vertex reference engine, ``"vector"`` for the array-native
     sharded engine (bit-exact, much faster) — and defaults to
-    ``config.engine``.
+    ``config.engine``.  ``parallel`` selects the vector engine's
+    shared-memory multiprocess executor (``N`` shard-group processes,
+    bit-exact with serial); it defaults to ``config.parallel``.
     """
 
     name = "spinner-pregel"
@@ -62,16 +64,21 @@ class SpinnerPregelAdapter(Partitioner):
         config: SpinnerConfig | None = None,
         num_workers: int = 4,
         engine: str | None = None,
+        parallel: int | None = None,
     ) -> None:
         self.config = config if config is not None else SpinnerConfig()
         self.num_workers = num_workers
         self.engine = engine if engine is not None else self.config.engine
+        self.parallel = parallel
 
     def partition(
         self, graph: UndirectedGraph | DiGraph, num_partitions: int
     ) -> dict[int, int]:
         """Run the Pregel Spinner (selected engine) and return its assignment."""
         partitioner = SpinnerPartitioner(
-            self.config, num_workers=self.num_workers, engine=self.engine
+            self.config,
+            num_workers=self.num_workers,
+            engine=self.engine,
+            parallel=self.parallel,
         )
         return partitioner.partition(graph, num_partitions).assignment

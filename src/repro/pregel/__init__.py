@@ -25,6 +25,13 @@ compute per superstep over NumPy arrays) — same semantics, same
 statistics, different program interface and orders of magnitude apart in
 throughput.
 
+The vector engine delegates its per-superstep execution to a pluggable
+:class:`~repro.pregel.executor.SuperstepExecutor`: the in-process
+:class:`~repro.pregel.serial_executor.SerialExecutor` (default) or the
+:class:`~repro.pregel.shm_executor.SharedMemoryExecutor`, which runs the
+supersteps across ``parallel=N`` OS processes over shared memory —
+bit-exact with serial for every program.
+
 Both runtimes share the fault-tolerance subsystem
 (:mod:`repro.pregel.checkpoint` + :mod:`repro.faults`): superstep-boundary
 checkpointing, deterministic fault injection and crash recovery with a
@@ -48,8 +55,11 @@ from repro.pregel.checkpoint import (
 )
 from repro.pregel.cost_model import ClusterCostModel, SuperstepStats
 from repro.pregel.engine import PregelEngine, PregelResult
+from repro.pregel.executor import ShardGroupView, SuperstepExecutor, plan_worker_groups
 from repro.pregel.master import MasterCompute
 from repro.pregel.program import ComputeContext, VertexProgram
+from repro.pregel.serial_executor import SerialExecutor
+from repro.pregel.shm_executor import SharedMemoryExecutor
 from repro.pregel.vector_engine import (
     BatchComputeContext,
     BatchStep,
@@ -79,8 +89,12 @@ __all__ = [
     "Outbox",
     "PregelEngine",
     "PregelResult",
+    "SerialExecutor",
+    "ShardGroupView",
+    "SharedMemoryExecutor",
     "ShardedGraph",
     "Snapshot",
+    "SuperstepExecutor",
     "SuperstepStats",
     "VectorPregelEngine",
     "VectorPregelResult",
@@ -88,5 +102,6 @@ __all__ = [
     "VertexProgram",
     "load_latest_snapshot",
     "load_snapshot",
+    "plan_worker_groups",
     "resume_from_checkpoint",
 ]

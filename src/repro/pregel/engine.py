@@ -22,7 +22,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.errors import PregelError, RecoveryAbortedError
+from repro.errors import PregelError
 from repro.faults import FaultPlan, InjectedWorkerCrash
 from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
@@ -45,6 +45,12 @@ from repro.pregel.cost_model import (
 from repro.pregel.master import MasterCompute
 from repro.pregel.messages import MessageCombiner, MessageStore
 from repro.pregel.program import ComputeContext, VertexProgram
+from repro.pregel.run_loop import (
+    finalize_run_stats,
+    record_aggregator_history,
+    run_with_recovery,
+    superstep_preamble,
+)
 from repro.pregel.vertex import Vertex
 from repro.pregel.worker import PlacementFn, build_workers, hash_placement
 
@@ -286,26 +292,21 @@ class PregelEngine:
         plan: FaultPlan | None,
         bookkeeping: RecoveryBookkeeping,
     ) -> PregelResult:
-        """Run to completion, recovering from injected crashes.
+        """Run to completion via the shared recovery wrapper.
 
-        Each :class:`~repro.faults.InjectedWorkerCrash` rolls the run back
-        to the latest snapshot written *this run*; partial-superstep state
-        is discarded wholesale because the restored state is a fresh
-        unpickle.  When the plan's ``max_recoveries`` budget is exhausted
-        the run aborts with :class:`~repro.errors.RecoveryAbortedError`,
-        leaving the latest checkpoint on disk for
-        :func:`~repro.pregel.checkpoint.resume_from_checkpoint`.
+        Crash rollback, the recovery budget and the abort path live in
+        :func:`~repro.pregel.run_loop.run_with_recovery`; the restored
+        state is always a fresh unpickle of the latest snapshot written
+        *this run*.
         """
-        while True:
-            try:
-                return self._superstep_loop(state, manager, plan, bookkeeping)
-            except InjectedWorkerCrash as crash:
-                bookkeeping.recoveries += 1
-                if plan is None or bookkeeping.recoveries > plan.max_recoveries:
-                    raise RecoveryAbortedError(
-                        crash.superstep, bookkeeping.recoveries - 1
-                    ) from crash
-                state = manager.load_latest(this_run_only=True).state
+
+        def restore() -> _DictRunState:
+            return manager.load_latest(this_run_only=True).state
+
+        def loop(current: _DictRunState) -> PregelResult:
+            return self._superstep_loop(current, manager, plan, bookkeeping)
+
+        return run_with_recovery(loop, state, restore, plan, bookkeeping)
 
     def _engine_params(self) -> dict[str, Any]:
         """Constructor arguments a snapshot needs to rebuild this engine.
@@ -368,30 +369,29 @@ class PregelEngine:
         aggregator_history = state.aggregator_history
         halt_reason = "converged"
 
-        while True:
-            superstep = state.superstep
-            if superstep >= self.max_supersteps:
-                halt_reason = "max_supersteps"
-                break
+        def save_checkpoint(superstep: int) -> None:
+            if manager is None or not manager.due(superstep):
+                return
+            if manager.save_dict(superstep, state, self._engine_params()):
+                bookkeeping.checkpoints_written += 1
 
-            # Superstep-boundary checkpoint, taken *before* the master
-            # computes so a restore replays the master exactly once.
-            # Superstep 0 is always due, guaranteeing a recovery base
-            # before any fault can fire.
-            if manager is not None and manager.due(superstep):
-                if manager.save_dict(superstep, state, self._engine_params()):
-                    bookkeeping.checkpoints_written += 1
-
-            if master is not None:
-                master.compute(superstep, aggregators)
-                if master.halt_requested:
-                    halt_reason = "master_halt"
-                    break
-
+        def quiescent() -> bool:
             # Standard Pregel termination: all vertices halted, no messages.
             any_active = any(not v.halted for v in vertices.values())
-            if superstep > 0 and state.incoming.is_empty() and not any_active:
-                halt_reason = "converged"
+            return state.superstep > 0 and state.incoming.is_empty() and not any_active
+
+        while True:
+            superstep = state.superstep
+            reason = superstep_preamble(
+                superstep,
+                self.max_supersteps,
+                save_checkpoint,
+                master,
+                aggregators,
+                quiescent,
+            )
+            if reason is not None:
+                halt_reason = reason
                 break
 
             incoming = state.incoming
@@ -468,9 +468,7 @@ class PregelEngine:
                 run_stats.messages_dropped += unknown_sends[0]
 
             run_stats.superstep_stats.append(superstep_stat)
-            aggregators.advance_superstep()
-            for name in aggregators.names():
-                aggregator_history.setdefault(name, []).append(aggregators.value(name))
+            record_aggregator_history(aggregators, aggregator_history)
 
             # The synchronous barrier: transient delivery faults retry
             # here (simulated backoff) and may escalate to a crash.
@@ -480,9 +478,7 @@ class PregelEngine:
             state.incoming = outgoing
             state.superstep = superstep + 1
 
-        run_stats.checkpoints_written = bookkeeping.checkpoints_written
-        run_stats.recoveries = bookkeeping.recoveries
-        run_stats.delivery_retries = bookkeeping.delivery_retries
+        finalize_run_stats(run_stats, bookkeeping)
         return PregelResult(
             vertices=vertices,
             num_supersteps=state.superstep,

@@ -1,0 +1,128 @@
+"""In-process superstep executor (the bit-exact reference backend).
+
+This is the data plane of the former monolithic ``VectorPregelEngine``,
+extracted by code motion: one :class:`~repro.pregel.batch.BatchComputeContext`
+over the full shard, statistics and delivery as single whole-graph
+bincount passes.  Every numeric code path is unchanged, so runs through
+this executor are byte-identical to the pre-split engine — and serve as
+the reference the shared-memory backend is tested against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.errors import PregelError
+from repro.pregel.batch import (
+    BatchComputeContext,
+    DeliveredMessages,
+    Outbox,
+    ShardedGraph,
+)
+from repro.pregel.cost_model import RunStats
+from repro.pregel.executor import (
+    SuperstepExecutor,
+    build_superstep_stats,
+    combine_messages,
+    superstep_stats_arrays,
+)
+
+
+@dataclass
+class SerialStepOutcome:
+    """Arrays produced by one serial superstep, pending commit."""
+
+    values: np.ndarray
+    halted: np.ndarray
+    outbox: Outbox
+    unknown: np.ndarray
+
+
+class SerialExecutor(SuperstepExecutor):
+    """Single-process executor over the full shard."""
+
+    def __init__(self, engine: Any) -> None:
+        self._engine = engine
+        self._shard: ShardedGraph | None = None
+
+    def start(self, shard: ShardedGraph, state: Any) -> None:
+        """Remember the shard; the serial backend needs no other setup."""
+        self._shard = shard
+
+    def compute(self, state: Any, superstep: int, run_stats: RunStats) -> SerialStepOutcome:
+        """Run the batch program over the full shard for one superstep."""
+        shard = self._shard
+        program = state.program
+        incoming = state.incoming
+        # A message re-activates its target; already-active vertices
+        # compute regardless.
+        computed = incoming.has_message | ~state.halted
+
+        ctx = BatchComputeContext(
+            superstep, shard, state.values, computed, state.aggregators
+        )
+        step = program.compute_batch(shard, incoming, ctx)
+        values = np.asarray(step.values, dtype=np.float64)
+        votes = np.asarray(step.votes, dtype=bool)
+        halted = np.where(computed, votes, state.halted)
+
+        # Unknown-target mask, computed once and shared by the
+        # statistics and delivery passes.
+        outbox = step.outbox
+        unknown = (outbox.targets < 0) | (outbox.targets >= shard.num_vertices)
+
+        run_stats.superstep_stats.append(
+            build_superstep_stats(
+                superstep,
+                self._engine.num_workers,
+                *superstep_stats_arrays(
+                    shard,
+                    self._engine.num_workers,
+                    computed,
+                    outbox,
+                    unknown,
+                    step.edges_scanned,
+                ),
+            )
+        )
+        return SerialStepOutcome(values, halted, outbox, unknown)
+
+    def deliver(
+        self,
+        superstep: int,
+        outcome: SerialStepOutcome,
+        state: Any,
+        run_stats: RunStats,
+    ) -> DeliveredMessages:
+        """Combine the outbox per target vertex for the next superstep."""
+        shard = self._shard
+        targets = outcome.outbox.targets
+        payloads = outcome.outbox.payloads
+        unknown = outcome.unknown
+        if unknown.any():
+            if not self._engine.drop_unknown_targets:
+                bad_ids = np.unique(targets[unknown])
+                raise PregelError(
+                    f"messages sent to {bad_ids.shape[0]} nonexistent "
+                    f"vertex id(s) during superstep {superstep} "
+                    f"(e.g. {bad_ids[:5].tolist()}); pass "
+                    "drop_unknown_targets=True to drop them instead"
+                )
+            run_stats.messages_dropped += int(unknown.sum())
+            targets = targets[~unknown]
+            payloads = payloads[~unknown]
+        has_message, payload = combine_messages(
+            targets, payloads, shard.num_vertices, state.program.combine
+        )
+        return DeliveredMessages(has_message, payload, int(targets.size))
+
+    def commit(
+        self, state: Any, outcome: SerialStepOutcome, delivered: DeliveredMessages
+    ) -> None:
+        """Publish the superstep's arrays into the run state."""
+        state.values = outcome.values
+        state.halted = outcome.halted
+        state.incoming = delivered

@@ -1,0 +1,196 @@
+"""Shared-memory array plumbing for the multiprocess executor.
+
+Wraps :mod:`multiprocessing.shared_memory` into named *packs* of NumPy
+arrays: the coordinator creates a pack from a spec (or from existing
+arrays), ships the picklable :class:`PackLayout` to worker processes,
+and each worker attaches zero-copy views onto the same pages.  All
+segment names carry the ``spinner-repro-`` prefix so the resource-
+hygiene tests can assert that no segment outlives its run in
+``/dev/shm``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.pregel.batch import ShardedGraph
+
+#: Prefix of every shared-memory segment the executor creates.
+SEGMENT_PREFIX = "spinner-repro-"
+
+#: Byte alignment of each array inside a segment (cache-line friendly,
+#: and satisfies any dtype's alignment requirement).
+_ALIGN = 64
+
+
+def _unique_segment_name() -> str:
+    """A collision-resistant segment name carrying the repo prefix."""
+    return f"{SEGMENT_PREFIX}{os.getpid():x}-{os.urandom(6).hex()}"
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass(frozen=True)
+class PackLayout:
+    """Picklable description of one shared-memory segment's contents."""
+
+    segment: str
+    #: ``(name, dtype string, shape)`` per array, in segment order.
+    specs: tuple[tuple[str, str, tuple[int, ...]], ...]
+
+    @property
+    def nbytes(self) -> int:
+        """Total segment size implied by the specs (at least one byte)."""
+        offset = 0
+        for _, dtype, shape in self.specs:
+            offset = _aligned(offset) + int(
+                np.dtype(dtype).itemsize * int(np.prod(shape, dtype=np.int64))
+            )
+        return max(offset, 1)
+
+
+class SharedArrayPack:
+    """A set of named NumPy arrays living in one shared-memory segment.
+
+    Created once by the coordinator (:meth:`create` /
+    :meth:`create_from`) and attached by each worker process
+    (:meth:`attach`).  The pack keeps the creator/attachment handle open
+    for its lifetime; :meth:`unlink` removes the segment name (the
+    coordinator calls it exactly once per run, on every exit path) and
+    :meth:`close` drops this process's mapping.
+    """
+
+    def __init__(
+        self, shm: shared_memory.SharedMemory, layout: PackLayout, owner: bool
+    ) -> None:
+        self._shm = shm
+        self.layout = layout
+        self._owner = owner
+        self._unlinked = False
+        self.arrays: dict[str, np.ndarray] = {}
+        offset = 0
+        for name, dtype, shape in layout.specs:
+            offset = _aligned(offset)
+            count = int(np.prod(shape, dtype=np.int64))
+            view = np.frombuffer(
+                shm.buf, dtype=np.dtype(dtype), count=count, offset=offset
+            ).reshape(shape)
+            self.arrays[name] = view
+            offset += view.nbytes
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, specs: list[tuple[str, np.dtype, tuple[int, ...]]]) -> "SharedArrayPack":
+        """Allocate a fresh segment holding one array per spec (zeroed)."""
+        layout = PackLayout(
+            segment=_unique_segment_name(),
+            specs=tuple(
+                (name, np.dtype(dtype).str, tuple(int(s) for s in shape))
+                for name, dtype, shape in specs
+            ),
+        )
+        shm = shared_memory.SharedMemory(
+            name=layout.segment, create=True, size=layout.nbytes
+        )
+        shm.buf[:] = b"\x00" * len(shm.buf)
+        return cls(shm, layout, owner=True)
+
+    @classmethod
+    def create_from(cls, arrays: dict[str, np.ndarray]) -> "SharedArrayPack":
+        """Allocate a segment and copy ``arrays`` into it."""
+        pack = cls.create(
+            [(name, arr.dtype, arr.shape) for name, arr in arrays.items()]
+        )
+        for name, arr in arrays.items():
+            pack.arrays[name][...] = arr
+        return pack
+
+    @classmethod
+    def attach(cls, layout: PackLayout) -> "SharedArrayPack":
+        """Attach to an existing segment from a worker process.
+
+        On Python 3.11 every attaching process registers the segment
+        with the resource tracker again (bpo-39959); worker processes
+        share the coordinator's tracker (the fd is inherited on fork and
+        passed on spawn), where registrations are a set, so the
+        duplicate is harmless and the coordinator's single ``unlink``
+        clears the one entry.  Unregistering here would instead remove
+        the coordinator's registration and break crash cleanup.
+        """
+        return cls(
+            shared_memory.SharedMemory(name=layout.segment), layout, owner=False
+        )
+
+    # ------------------------------------------------------------------
+    def unlink(self) -> None:
+        """Remove the segment name from the system (idempotent)."""
+        if self._unlinked:
+            return
+        self._unlinked = True
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already removed
+            pass
+
+    def close(self) -> None:
+        """Drop this process's mapping (best-effort).
+
+        NumPy views exported elsewhere can keep the buffer pinned, in
+        which case ``close`` raises ``BufferError``; the segment is
+        already unlinked by then, so leaving the mapping to process exit
+        leaks nothing persistent.
+        """
+        self.arrays.clear()
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - views still exported
+            pass
+
+
+#: The static ShardedGraph arrays shipped to workers, in a fixed order.
+SHARD_ARRAY_NAMES = (
+    "indptr",
+    "adj_targets",
+    "adj_weights",
+    "original_ids",
+    "worker_of",
+    "degrees",
+    "send_src",
+    "send_dst",
+    "send_weight",
+    "send_src_worker",
+    "vertex_order",
+    "send_indptr",
+    "shard_indptr",
+)
+
+
+def shard_static_arrays(shard: ShardedGraph) -> dict[str, np.ndarray]:
+    """The precomputed shard arrays a worker needs, keyed canonically."""
+    return {name: getattr(shard, name) for name in SHARD_ARRAY_NAMES}
+
+
+def shard_from_arrays(
+    arrays: dict[str, np.ndarray], num_workers: int
+) -> ShardedGraph:
+    """Rebuild a :class:`ShardedGraph` over shared views, no recomputation.
+
+    Bypasses ``__init__`` (which would re-derive the canonical orderings,
+    allocating private copies) and assigns the attributes straight from
+    the shared-memory views, so every worker reads the coordinator's
+    arrays in place.
+    """
+    shard = ShardedGraph.__new__(ShardedGraph)
+    for name in SHARD_ARRAY_NAMES:
+        setattr(shard, name, arrays[name])
+    shard.num_workers = num_workers
+    shard.worker_lo = 0
+    shard.worker_hi = num_workers
+    shard.num_vertices = int(arrays["indptr"].shape[0] - 1)
+    return shard

@@ -1,0 +1,595 @@
+"""Shared-memory multiprocess superstep executor.
+
+The parallel backend of the vector runtime: the simulated workers are
+partitioned into ``parallel`` contiguous *shard groups*, each hosted by
+one persistent OS process.  The shard's CSR and canonical-order arrays,
+the double-buffered dynamic state (values / halted flags / delivered
+messages), the per-superstep statistics rows, any program-declared
+shared state (e.g. Spinner's label array) and one preallocated outbox
+per group all live in ``multiprocessing.shared_memory`` segments
+(:mod:`repro.pregel.shard_buffers`), so the only data crossing process
+boundaries each superstep is a pair of small control messages per group.
+
+Every superstep runs as two phases, each a full pipe round-trip (the
+round-trips *are* the barrier):
+
+* **step** — each group computes the batch program over its
+  :class:`~repro.pregel.executor.ShardGroupView`, publishes its owned
+  slice of the next values/halted buffers, writes its worker rows of the
+  statistics arrays, stores its canonically-ordered outbox in its shared
+  buffer, and replies with its aggregation log;
+* **deliver** — each group scans *all* groups' outboxes in group order,
+  keeps the messages whose target it owns (restriction preserves the
+  canonical message order), combines them and publishes its owned slice
+  of the next message buffers.
+
+The coordinator replays the aggregation logs in group order
+(:func:`~repro.pregel.executor.replay_aggregation_logs`), which together
+with the order-preserving delivery and the worker-row-disjoint
+statistics makes every observable byte-identical to the serial backend.
+
+Fault injection composes naturally: ``kill_worker`` SIGKILLs the host
+process of the crashing simulated worker, and recovery (:meth:`reset`)
+rewrites the buffers from the restored snapshot and respawns the fleet.
+The start method follows ``multiprocessing``'s platform default; set
+``REPRO_PARALLEL_START_METHOD=spawn|fork|forkserver`` to override.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.pregel.batch import DeliveredMessages, Outbox
+from repro.errors import PregelError
+from repro.pregel.cost_model import RunStats
+from repro.pregel.executor import (
+    GroupComputeContext,
+    ShardGroupView,
+    SuperstepExecutor,
+    build_superstep_stats,
+    combine_messages,
+    plan_worker_groups,
+    replay_aggregation_logs,
+    superstep_stats_arrays,
+)
+from repro.pregel.shard_buffers import (
+    PackLayout,
+    SharedArrayPack,
+    shard_from_arrays,
+    shard_static_arrays,
+)
+
+#: Environment override for the multiprocessing start method.
+START_METHOD_ENV = "REPRO_PARALLEL_START_METHOD"
+
+
+@dataclass(frozen=True)
+class _WorkerSpec:
+    """Everything one worker process needs to host its shard group."""
+
+    group_id: int
+    worker_lo: int
+    worker_hi: int
+    num_workers: int
+    combine: str
+    program: Any
+    static_layout: PackLayout
+    dynamic_layout: PackLayout
+    shared_state_layout: PackLayout | None
+    outbox_layouts: tuple[PackLayout, ...]
+    out_capacities: tuple[int, ...]
+
+
+@dataclass
+class ShmStepOutcome:
+    """Coordinator-side record of one parallel step phase."""
+
+    out_lens: list[int]
+    #: ``group_id -> (targets, payloads)`` for outboxes that overflowed
+    #: their preallocated buffer and travelled by pipe instead.
+    overrides: dict[int, tuple[np.ndarray, np.ndarray]]
+    unknown_total: int
+    bad_ids: list[np.ndarray]
+
+
+def _dynamic_views(arrays: dict[str, np.ndarray]) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+    """Pair the double-buffered dynamic arrays as ``name -> (buf0, buf1)``."""
+    return {
+        name: (arrays[f"{name}0"], arrays[f"{name}1"])
+        for name in ("values", "halted", "msg_has", "msg_payload")
+    }
+
+
+def _shm_worker_main(spec: _WorkerSpec, conn: Any) -> None:
+    """Entry point of one shard-group host process.
+
+    Serves ``step`` / ``deliver`` / ``program`` requests until ``stop``
+    or coordinator death.  Replies are ``("ok", ...)`` or
+    ``("exc", exception)``; state errors abort the run coordinator-side.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    static = SharedArrayPack.attach(spec.static_layout)
+    dynamic = SharedArrayPack.attach(spec.dynamic_layout)
+    shared_state = (
+        SharedArrayPack.attach(spec.shared_state_layout)
+        if spec.shared_state_layout is not None
+        else None
+    )
+    outboxes = [SharedArrayPack.attach(layout) for layout in spec.outbox_layouts]
+
+    shard = shard_from_arrays(static.arrays, spec.num_workers)
+    view = ShardGroupView(shard, spec.worker_lo, spec.worker_hi)
+    program = spec.program
+    if shared_state is not None:
+        program.adopt_shared_state(dict(shared_state.arrays))
+
+    buffers = _dynamic_views(dynamic.arrays)
+    stats = dynamic.arrays
+    owned = view.vertex_order
+    lo, hi = spec.worker_lo, spec.worker_hi
+    num_vertices = shard.num_vertices
+    my_outbox = outboxes[spec.group_id].arrays
+    my_capacity = spec.out_capacities[spec.group_id]
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        command = message[0]
+        if command == "stop":
+            break
+        try:
+            if command == "step":
+                _, superstep, cur, aggregated, incoming_count = message
+                nxt = 1 - cur
+                values = buffers["values"][cur]
+                halted = buffers["halted"][cur]
+                incoming = DeliveredMessages(
+                    buffers["msg_has"][cur],
+                    buffers["msg_payload"][cur],
+                    incoming_count,
+                )
+                # A message re-activates its target; already-active
+                # vertices compute regardless (same mask as serial).
+                computed = incoming.has_message | ~halted
+                ctx = GroupComputeContext(superstep, view, values, computed, aggregated)
+                step = program.compute_batch(view, incoming, ctx)
+                step_values = np.asarray(step.values, dtype=np.float64)
+                votes = np.asarray(step.votes, dtype=bool)
+                # Publish only the owned slice of the next buffers; the
+                # groups' owned slices are disjoint and cover the graph.
+                buffers["values"][nxt][owned] = step_values[owned]
+                buffers["halted"][nxt][owned] = np.where(
+                    computed[owned], votes[owned], halted[owned]
+                )
+
+                outbox = step.outbox
+                unknown = (outbox.targets < 0) | (outbox.targets >= num_vertices)
+                vertices_pw, edges_pw, message_counts = superstep_stats_arrays(
+                    view, spec.num_workers, computed, outbox, unknown, step.edges_scanned
+                )
+                stats["stats_vertices"][lo:hi] = vertices_pw[lo:hi]
+                stats["stats_edges"][lo:hi] = edges_pw[lo:hi]
+                stats["stats_local"][lo:hi] = message_counts[2 * lo + 1 : 2 * hi : 2]
+                stats["stats_remote"][lo:hi] = message_counts[2 * lo : 2 * hi : 2]
+
+                out_len = len(outbox)
+                overflow = None
+                if out_len <= my_capacity:
+                    my_outbox["targets"][:out_len] = outbox.targets
+                    my_outbox["payloads"][:out_len] = outbox.payloads
+                else:  # pragma: no cover - needs a custom send schedule
+                    overflow = (outbox.targets, outbox.payloads)
+                unknown_total = int(unknown.sum())
+                bad_ids = (
+                    np.unique(outbox.targets[unknown])
+                    if unknown_total
+                    else np.empty(0, dtype=np.int64)
+                )
+                conn.send(
+                    ("ok", ctx.take_log(), out_len, overflow, unknown_total, bad_ids)
+                )
+            elif command == "deliver":
+                _, cur, out_lens, overrides = message
+                nxt = 1 - cur
+                parts_targets = []
+                parts_payloads = []
+                # Scan every group's outbox in group order: restriction
+                # of the canonical message sequence to owned targets
+                # keeps the per-target accumulation order serial-exact.
+                for group_id, out_len in enumerate(out_lens):
+                    if group_id in overrides:  # pragma: no cover - overflow path
+                        targets, payloads = overrides[group_id]
+                    else:
+                        group_arrays = outboxes[group_id].arrays
+                        targets = group_arrays["targets"][:out_len]
+                        payloads = group_arrays["payloads"][:out_len]
+                    valid = (targets >= 0) & (targets < num_vertices)
+                    if not valid.all():
+                        targets = targets[valid]
+                        payloads = payloads[valid]
+                    workers = shard.worker_of[targets]
+                    mine = (workers >= lo) & (workers < hi)
+                    parts_targets.append(targets[mine])
+                    parts_payloads.append(payloads[mine])
+                targets = np.concatenate(parts_targets)
+                payloads = np.concatenate(parts_payloads)
+                has_message, payload = combine_messages(
+                    targets, payloads, num_vertices, spec.combine
+                )
+                buffers["msg_has"][nxt][owned] = has_message[owned]
+                buffers["msg_payload"][nxt][owned] = payload[owned]
+                conn.send(("ok", int(targets.size)))
+            elif command == "program":
+                conn.send(("ok", program))
+            else:  # pragma: no cover - protocol bug
+                conn.send(("exc", PregelError(f"unknown command {command!r}")))
+        except Exception as exc:  # noqa: BLE001 - forwarded to coordinator
+            try:
+                conn.send(("exc", exc))
+            except Exception:  # pragma: no cover - coordinator gone
+                break
+
+    # Skip interpreter teardown: local frames still hold views onto the
+    # shared segments, so SharedMemory destructors would raise
+    # BufferError noise at exit.  The mappings die with the process and
+    # the coordinator owns segment cleanup, so a hard exit is safe.
+    try:
+        conn.close()
+    except OSError:  # pragma: no cover - already closed
+        pass
+    os._exit(0)
+
+
+class SharedMemoryExecutor(SuperstepExecutor):
+    """Executor hosting each shard group in a persistent OS process."""
+
+    def __init__(self, engine: Any, parallel: int) -> None:
+        self._engine = engine
+        self._parallel = parallel
+        self._shard = None
+        self._groups: list[tuple[int, int]] = []
+        self._packs: list[SharedArrayPack] = []
+        self._static: SharedArrayPack | None = None
+        self._dynamic: SharedArrayPack | None = None
+        self._shared_state: SharedArrayPack | None = None
+        self._outboxes: list[SharedArrayPack] = []
+        self._out_capacities: tuple[int, ...] = ()
+        self._procs: list[Any] = []
+        self._conns: list[Any] = []
+        self._buffers: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        self._state: Any = None
+        self._cur = 0
+        self._closed = False
+        self._mp = multiprocessing.get_context(
+            os.environ.get(START_METHOD_ENV) or None
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self, shard: Any, state: Any) -> None:
+        """Allocate the shared segments, seed them, spawn the fleet."""
+        engine = self._engine
+        self._shard = shard
+        self._groups = plan_worker_groups(engine.num_workers, self._parallel)
+        num_vertices = shard.num_vertices
+
+        self._static = SharedArrayPack.create_from(shard_static_arrays(shard))
+        self._packs.append(self._static)
+        dynamic_specs = []
+        for buf in (0, 1):
+            dynamic_specs += [
+                (f"values{buf}", np.float64, (num_vertices,)),
+                (f"halted{buf}", np.bool_, (num_vertices,)),
+                (f"msg_has{buf}", np.bool_, (num_vertices,)),
+                (f"msg_payload{buf}", np.float64, (num_vertices,)),
+            ]
+        dynamic_specs += [
+            ("stats_vertices", np.int64, (engine.num_workers,)),
+            ("stats_edges", np.float64, (engine.num_workers,)),
+            ("stats_local", np.int64, (engine.num_workers,)),
+            ("stats_remote", np.int64, (engine.num_workers,)),
+        ]
+        self._dynamic = SharedArrayPack.create(dynamic_specs)
+        self._packs.append(self._dynamic)
+        self._buffers = _dynamic_views(self._dynamic.arrays)
+
+        program = state.program
+        shared_arrays = program.shared_state()
+        if shared_arrays:
+            self._shared_state = SharedArrayPack.create_from(shared_arrays)
+            self._packs.append(self._shared_state)
+            # The coordinator's program copy reads the live shared
+            # arrays too (so post-run reads see final state); only the
+            # workers advance program-internal scalars such as RNG
+            # state, which checkpoint_program() fetches from a worker.
+            program.adopt_shared_state(dict(self._shared_state.arrays))
+
+        capacities = []
+        for worker_lo, worker_hi in self._groups:
+            view = ShardGroupView(shard, worker_lo, worker_hi)
+            capacity = max(1, int(program.max_outbox_messages(view)))
+            capacities.append(capacity)
+            outbox_pack = SharedArrayPack.create(
+                [
+                    ("targets", np.int64, (capacity,)),
+                    ("payloads", np.float64, (capacity,)),
+                ]
+            )
+            self._outboxes.append(outbox_pack)
+            self._packs.append(outbox_pack)
+        self._out_capacities = tuple(capacities)
+
+        self._cur = 0
+        self._write_state(state)
+        self._spawn(program)
+        self._rebind(state)
+
+    def _write_state(self, state: Any) -> None:
+        """Seed buffer 0 (and shared program state) from ``state``."""
+        self._buffers["values"][self._cur][...] = state.values
+        self._buffers["halted"][self._cur][...] = state.halted
+        self._buffers["msg_has"][self._cur][...] = state.incoming.has_message
+        self._buffers["msg_payload"][self._cur][...] = state.incoming.payload
+        if self._shared_state is not None:
+            for name, arr in state.program.shared_state().items():
+                view = self._shared_state.arrays[name]
+                if arr is not view:
+                    view[...] = arr
+
+    def _rebind(self, state: Any) -> None:
+        """Point the run state at the current shared buffers."""
+        self._state = state
+        cur = self._cur
+        state.values = self._buffers["values"][cur]
+        state.halted = self._buffers["halted"][cur]
+        state.incoming = DeliveredMessages(
+            self._buffers["msg_has"][cur],
+            self._buffers["msg_payload"][cur],
+            state.incoming.count,
+        )
+
+    def _spawn(self, program: Any) -> None:
+        """Launch one host process per shard group."""
+        self._procs = []
+        self._conns = []
+        for group_id, (worker_lo, worker_hi) in enumerate(self._groups):
+            spec = _WorkerSpec(
+                group_id=group_id,
+                worker_lo=worker_lo,
+                worker_hi=worker_hi,
+                num_workers=self._engine.num_workers,
+                combine=program.combine,
+                program=program,
+                static_layout=self._static.layout,
+                dynamic_layout=self._dynamic.layout,
+                shared_state_layout=(
+                    self._shared_state.layout if self._shared_state else None
+                ),
+                outbox_layouts=tuple(pack.layout for pack in self._outboxes),
+                out_capacities=self._out_capacities,
+            )
+            parent_conn, child_conn = self._mp.Pipe()
+            proc = self._mp.Process(
+                target=_shm_worker_main,
+                args=(spec, child_conn),
+                daemon=True,
+                name=f"repro-shard-group-{group_id}",
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+
+    # ------------------------------------------------------------------
+    # per-superstep protocol
+    # ------------------------------------------------------------------
+    def _roundtrip(self, message: tuple) -> list[tuple]:
+        """Send ``message`` to every group and gather one reply each.
+
+        The two round-trips per superstep are the barrier: no group
+        advances a phase until the coordinator has heard from all of
+        them, and shared-memory writes made before a reply are visible
+        to every group afterwards.
+        """
+        for conn in self._conns:
+            conn.send(message)
+        replies = []
+        for group_id, conn in enumerate(self._conns):
+            try:
+                reply = conn.recv()
+            except (EOFError, OSError) as exc:
+                raise PregelError(
+                    f"shard-group process {group_id} died unexpectedly"
+                ) from exc
+            if reply[0] == "exc":
+                raise reply[1]
+            replies.append(reply)
+        return replies
+
+    def compute(self, state: Any, superstep: int, run_stats: RunStats) -> ShmStepOutcome:
+        """Run the step phase on every group and merge the results."""
+        aggregators = state.aggregators
+        aggregated = {name: aggregators.value(name) for name in aggregators.names()}
+        replies = self._roundtrip(
+            ("step", superstep, self._cur, aggregated, state.incoming.count)
+        )
+        logs = []
+        outcome = ShmStepOutcome([], {}, 0, [])
+        for group_id, reply in enumerate(replies):
+            _, log, out_len, overflow, unknown_total, bad_ids = reply
+            logs.append(log)
+            outcome.out_lens.append(out_len)
+            if overflow is not None:  # pragma: no cover - overflow path
+                outcome.overrides[group_id] = overflow
+            outcome.unknown_total += unknown_total
+            if unknown_total:
+                outcome.bad_ids.append(bad_ids)
+        replay_aggregation_logs(aggregators, logs)
+        arrays = self._dynamic.arrays
+        run_stats.superstep_stats.append(
+            build_superstep_stats(
+                superstep,
+                self._engine.num_workers,
+                arrays["stats_vertices"],
+                arrays["stats_edges"],
+                np.stack(
+                    [arrays["stats_remote"], arrays["stats_local"]], axis=1
+                ).reshape(-1),
+            )
+        )
+        return outcome
+
+    def deliver(
+        self, superstep: int, outcome: ShmStepOutcome, state: Any, run_stats: RunStats
+    ) -> DeliveredMessages:
+        """Run the deliver phase; raise or drop on unknown targets."""
+        if outcome.unknown_total:
+            if not self._engine.drop_unknown_targets:
+                bad_ids = np.unique(np.concatenate(outcome.bad_ids))
+                raise PregelError(
+                    f"messages sent to {bad_ids.shape[0]} nonexistent "
+                    f"vertex id(s) during superstep {superstep} "
+                    f"(e.g. {bad_ids[:5].tolist()}); pass "
+                    "drop_unknown_targets=True to drop them instead"
+                )
+            run_stats.messages_dropped += outcome.unknown_total
+        replies = self._roundtrip(
+            ("deliver", self._cur, outcome.out_lens, outcome.overrides)
+        )
+        count = sum(reply[1] for reply in replies)
+        nxt = 1 - self._cur
+        return DeliveredMessages(
+            self._buffers["msg_has"][nxt],
+            self._buffers["msg_payload"][nxt],
+            count,
+        )
+
+    def commit(self, state: Any, outcome: ShmStepOutcome, delivered: DeliveredMessages) -> None:
+        """Flip the double buffer and rebind the state to the new side."""
+        self._cur = 1 - self._cur
+        state.values = self._buffers["values"][self._cur]
+        state.halted = self._buffers["halted"][self._cur]
+        state.incoming = delivered
+
+    # ------------------------------------------------------------------
+    # faults, checkpoints, teardown
+    # ------------------------------------------------------------------
+    def kill_worker(self, worker: int) -> None:
+        """SIGKILL the process hosting simulated worker ``worker``."""
+        for group_id, (worker_lo, worker_hi) in enumerate(self._groups):
+            if worker_lo <= worker < worker_hi:
+                proc = self._procs[group_id]
+                if proc.is_alive():
+                    proc.kill()
+                proc.join()
+                return
+
+    def checkpoint_program(self, state: Any) -> Any:
+        """Fetch the live program from a worker (its RNG state is truth).
+
+        The coordinator's program copy shares the dense arrays but not
+        program-internal scalars (notably the migration RNG), which only
+        advance inside the worker processes; snapshots must persist the
+        workers' version so a restore replays identically.
+        """
+        self._conns[0].send(("program",))
+        reply = self._conns[0].recv()
+        if reply[0] == "exc":  # pragma: no cover - fetch cannot fail
+            raise reply[1]
+        return reply[1]
+
+    def reset(self, state: Any) -> None:
+        """Restart the fleet on snapshot state after an injected crash."""
+        self._stop_workers(force=True)
+        # The pre-crash state object lives on in caller frames; give it
+        # private copies so it stops pinning the shared buffers.
+        self._detach_state()
+        self._cur = 0
+        self._write_state(state)
+        if self._shared_state is not None:
+            state.program.adopt_shared_state(dict(self._shared_state.arrays))
+        self._spawn(state.program)
+        self._rebind(state)
+
+    def export_values(self, state: Any) -> np.ndarray:
+        """Copy the final values out of shared memory."""
+        return np.array(state.values)
+
+    def _stop_workers(self, force: bool) -> None:
+        """Bring down all host processes and close their pipes."""
+        for conn, proc in zip(self._conns, self._procs):
+            if not force and proc.is_alive():
+                try:
+                    conn.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    pass
+        for proc in self._procs:
+            if proc.is_alive():
+                if force:
+                    proc.terminate()
+                proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.kill()
+                proc.join()
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        self._procs = []
+        self._conns = []
+
+    def _detach_state(self) -> None:
+        """Rebind the run state to private copies so no view pins the shm.
+
+        Post-run reads of ``state`` (labels, final values, delivered
+        messages) must survive the segments being closed, and any view
+        still exported would make the mappings unreleasable.
+        """
+        state = self._state
+        self._state = None
+        if state is None:
+            return
+        state.values = np.array(state.values)
+        state.halted = np.array(state.halted)
+        state.incoming = DeliveredMessages(
+            np.array(state.incoming.has_message),
+            np.array(state.incoming.payload),
+            state.incoming.count,
+        )
+        if self._shared_state is not None:
+            state.program.adopt_shared_state(
+                {
+                    name: np.array(view)
+                    for name, view in self._shared_state.arrays.items()
+                }
+            )
+
+    def close(self) -> None:
+        """Tear everything down; safe on every exit path, idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._stop_workers(force=False)
+        finally:
+            self._detach_state()
+            self._buffers = {}
+            for pack in self._packs:
+                pack.unlink()
+            for pack in self._packs:
+                pack.close()
+            self._packs = []
+            self._outboxes = []
+            self._static = None
+            self._dynamic = None
+            self._shared_state = None

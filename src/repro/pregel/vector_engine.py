@@ -1,972 +1,41 @@
-"""Array-native, sharded Pregel runtime.
+"""Compatibility facade for the array-native, sharded Pregel runtime.
 
-The dictionary engine (:mod:`repro.pregel.engine`) calls a Python
-``compute`` per vertex per superstep, which dominates the runtime of every
-engine-backed experiment once the partitioning kernels are vectorized.
-This module provides a second runtime with the same observable semantics
-that executes *batch* vertex programs over flat NumPy arrays:
+The former monolithic engine now lives in focused modules —
+:mod:`repro.pregel.batch` (data-plane primitives and the batch program
+interface), :mod:`repro.pregel.executor` (the superstep-executor
+protocol and shared kernels), :mod:`repro.pregel.serial_executor` /
+:mod:`repro.pregel.shm_executor` (the two backends) and
+:mod:`repro.pregel.vector_coordinator` (the engine itself).  This module
+re-exports the public names so existing imports keep working unchanged::
 
-* the graph lives in CSR arrays, sharded across simulated workers by a
-  placement function (``worker_of`` per vertex, contiguous per-worker
-  send buffers over a worker-major canonical edge ordering);
-* message exchange is batched: a program emits one
-  :class:`Outbox` of ``(sources, targets, payloads)`` arrays per
-  superstep and delivery combines them per target with a single
-  ``np.bincount`` (sum) or ``np.minimum.at`` (min) pass;
-* active/halted state is a dense boolean mask, and per-worker cost-model
-  statistics come from composite-key bincounts instead of per-message
-  callbacks.
+    from repro.pregel.vector_engine import VectorPregelEngine
 
-Equivalence with the dictionary engine is bit-exact, not approximate:
-the canonical orderings reproduce the dictionary engine's send and
-aggregation order (``np.bincount`` and ``np.cumsum`` accumulate
-sequentially, exactly like Python's left-to-right ``sum``), so final
-values, superstep counts, halt reasons, aggregator histories and
-per-worker statistics all match.  ``tests/test_vector_engine.py`` pins
-this contract and ``benchmarks/test_pregel_speed.py`` tracks the speedup.
+New code can import from the split modules directly.
 """
 
-from __future__ import annotations
-
-import os
-from dataclasses import dataclass
-from typing import Any, ClassVar
-
-import numpy as np
-
-from repro.errors import PregelError, RecoveryAbortedError
-from repro.faults import FaultPlan, InjectedWorkerCrash
-from repro.graph.csr import CSRGraph, build_csr_arrays
-from repro.graph.digraph import DiGraph
-from repro.graph.undirected import UndirectedGraph
-from repro.pregel.aggregators import AggregatorRegistry
-from repro.pregel.checkpoint import (
-    VECTOR_KIND,
-    CheckpointManager,
-    RecoveryBookkeeping,
-    Snapshot,
-    apply_delivery_faults,
-    validate_fault_tolerance_args as _validate_fault_tolerance_args,
+from repro.pregel.batch import (
+    BatchComputeContext,
+    BatchStep,
+    BatchVertexProgram,
+    DeliveredMessages,
+    Outbox,
+    ShardedGraph,
+    _dense_ids,
+    _neutral_payload,
 )
-from repro.pregel.cost_model import (
-    ClusterCostModel,
-    RunStats,
-    SuperstepStats,
-    WorkerStats,
+from repro.pregel.vector_coordinator import (
+    VectorPregelEngine,
+    VectorPregelResult,
+    _VectorRunState,
 )
-from repro.pregel.master import MasterCompute
-from repro.pregel.worker import PlacementFn, hash_placement
 
-
-class ShardedGraph:
-    """CSR adjacency sharded across simulated workers.
-
-    Built once per run, then shared read-only by every superstep.  Beyond
-    the plain CSR arrays it precomputes the two *canonical orderings* that
-    make the batch runtime reproduce the dictionary engine bit for bit:
-
-    ``vertex_order``
-        Dense vertex ids sorted worker-major (stable), i.e. the order the
-        dictionary engine visits vertices: worker 0's vertices in
-        placement order, then worker 1's, ...
-    ``send_src`` / ``send_dst`` / ``send_weight``
-        The adjacency slots permuted into the same worker-major order —
-        the concatenation of the per-worker send buffers.  A program that
-        emits messages by masking these arrays produces messages in
-        exactly the dictionary engine's send order, so a sequential
-        per-target reduction (``np.bincount``) sums them in the same
-        order as Python's ``sum`` over a message list.
-    """
-
-    def __init__(
-        self,
-        indptr: np.ndarray,
-        targets: np.ndarray,
-        weights: np.ndarray,
-        original_ids: np.ndarray,
-        worker_of: np.ndarray,
-        num_workers: int,
-    ) -> None:
-        self.indptr = np.asarray(indptr, dtype=np.int64)
-        self.adj_targets = np.asarray(targets, dtype=np.int64)
-        self.adj_weights = np.asarray(weights, dtype=np.int64)
-        self.original_ids = np.asarray(original_ids, dtype=np.int64)
-        self.worker_of = np.asarray(worker_of, dtype=np.int64)
-        self.num_workers = num_workers
-        self.num_vertices = self.indptr.shape[0] - 1
-        self.degrees = np.diff(self.indptr)
-
-        edge_src = np.repeat(
-            np.arange(self.num_vertices, dtype=np.int64), self.degrees
-        )
-        edge_order = np.argsort(self.worker_of[edge_src], kind="stable")
-        self.send_src = edge_src[edge_order]
-        self.send_dst = self.adj_targets[edge_order]
-        self.send_weight = self.adj_weights[edge_order]
-        #: Owning worker per canonical slot (cached: the statistics pass
-        #: needs it every superstep a full outbox is emitted).
-        self.send_src_worker = self.worker_of[self.send_src]
-        self.vertex_order = np.argsort(self.worker_of, kind="stable")
-
-        # Per-worker boundaries into the canonical (worker-major) arrays:
-        # worker w's send buffer is send_*[send_indptr[w]:send_indptr[w+1]]
-        # and its vertex list is vertex_order[shard_indptr[w]:shard_indptr[w+1]].
-        self.send_indptr = np.zeros(num_workers + 1, dtype=np.int64)
-        np.cumsum(
-            np.bincount(self.send_src_worker, minlength=num_workers),
-            out=self.send_indptr[1:],
-        )
-        self.shard_indptr = np.zeros(num_workers + 1, dtype=np.int64)
-        np.cumsum(
-            np.bincount(self.worker_of, minlength=num_workers),
-            out=self.shard_indptr[1:],
-        )
-
-    # ------------------------------------------------------------------
-    def shard_vertices(self, worker: int) -> np.ndarray:
-        """Dense vertex ids owned by ``worker``, in placement order."""
-        return self.vertex_order[self.shard_indptr[worker] : self.shard_indptr[worker + 1]]
-
-    def send_buffer(self, worker: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """``(sources, targets, weights)`` slice of ``worker``'s out-edges."""
-        start, end = self.send_indptr[worker], self.send_indptr[worker + 1]
-        return (
-            self.send_src[start:end],
-            self.send_dst[start:end],
-            self.send_weight[start:end],
-        )
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return (
-            f"ShardedGraph(|V|={self.num_vertices}, "
-            f"|slots|={self.adj_targets.shape[0]}, W={self.num_workers})"
-        )
-
-
-@dataclass
-class Outbox:
-    """Batched messages emitted during one superstep.
-
-    All three arrays are aligned; ``sources``/``targets`` hold *dense*
-    vertex ids.  Messages must appear in canonical (worker-major) order —
-    the :class:`BatchComputeContext` helpers guarantee this.
-    """
-
-    sources: np.ndarray
-    targets: np.ndarray
-    payloads: np.ndarray
-
-    @classmethod
-    def empty(cls) -> "Outbox":
-        """An outbox with no messages."""
-        return cls(
-            np.empty(0, dtype=np.int64),
-            np.empty(0, dtype=np.int64),
-            np.empty(0, dtype=np.float64),
-        )
-
-    def __len__(self) -> int:
-        return int(self.targets.shape[0])
-
-
-@dataclass
-class BatchStep:
-    """What a batch program returns for one superstep."""
-
-    #: Full vertex-value array after the superstep (may alias the input).
-    values: np.ndarray
-    #: Messages to deliver next superstep.
-    outbox: Outbox
-    #: Per-vertex vote-to-halt mask; applied only where a vertex computed.
-    votes: np.ndarray
-    #: Optional per-vertex edge counts charged to the superstep's
-    #: ``edges_scanned`` statistics instead of ``shard.degrees`` — for
-    #: programs whose effective adjacency differs from the shard during
-    #: some supersteps (e.g. Spinner's NeighborPropagation superstep scans
-    #: the original directed out-edges, not the converted adjacency).
-    edges_scanned: np.ndarray | None = None
-
-
-@dataclass
-class DeliveredMessages:
-    """Combined messages delivered at the start of a superstep.
-
-    ``payload[v]`` is the combined message value for vertex ``v`` (sum or
-    min, per the program's ``combine`` mode) and the combine-neutral
-    element (0 or +inf) where ``has_message[v]`` is ``False``.
-    """
-
-    has_message: np.ndarray
-    payload: np.ndarray
-    count: int
-
-
-def _dense_ids(ids: np.ndarray, originals: np.ndarray) -> np.ndarray:
-    """Map original vertex ids to their dense (insertion-order) positions.
-
-    ``ids`` holds the original ids in iteration order, which is not
-    necessarily sorted, so the lookup goes through an argsort-backed
-    ``searchsorted`` instead of assuming sorted ids.
-    """
-    sorter = np.argsort(ids, kind="stable")
-    return sorter[np.searchsorted(ids, originals, sorter=sorter)]
-
-
-def _neutral_payload(combine: str, num_vertices: int) -> np.ndarray:
-    if combine == "sum":
-        return np.zeros(num_vertices, dtype=np.float64)
-    return np.full(num_vertices, np.inf, dtype=np.float64)
-
-
-class BatchComputeContext:
-    """Facilities available to a batch program during one superstep.
-
-    The per-vertex ``ComputeContext`` of the dictionary engine sends one
-    message at a time; this context instead builds whole outboxes with
-    array operations, preserving the canonical ordering the equivalence
-    guarantee rests on.
-    """
-
-    def __init__(
-        self,
-        superstep: int,
-        shard: ShardedGraph,
-        values: np.ndarray,
-        computed: np.ndarray,
-        aggregators: AggregatorRegistry,
-    ) -> None:
-        self.superstep = superstep
-        self.shard = shard
-        #: Current vertex values (read-only by convention; return new
-        #: values through :class:`BatchStep`).
-        self.values = values
-        #: Mask of vertices computing this superstep (active or messaged).
-        self.computed = computed
-        self._aggregators = aggregators
-
-    @property
-    def num_vertices(self) -> int:
-        """Number of vertices in the shard."""
-        return self.shard.num_vertices
-
-    # ------------------------------------------------------------------
-    def send_to_all_neighbors(
-        self, senders: np.ndarray, payload_per_vertex: np.ndarray
-    ) -> Outbox:
-        """Every vertex in ``senders`` sends its payload along all out-edges."""
-        payload_per_vertex = np.asarray(payload_per_vertex, dtype=np.float64)
-        if senders.all():
-            # Fast path for the common all-active superstep (e.g. PageRank):
-            # the outbox is the canonical edge set itself, no compaction.
-            sources = self.shard.send_src
-            return Outbox(sources, self.shard.send_dst, payload_per_vertex[sources])
-        mask = senders[self.shard.send_src]
-        sources = self.shard.send_src[mask]
-        return Outbox(
-            sources,
-            self.shard.send_dst[mask],
-            payload_per_vertex[sources],
-        )
-
-    def edges_from(
-        self, senders: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Canonical-order ``(sources, targets, weights)`` of senders' edges.
-
-        For programs whose message payload is per-edge rather than
-        per-vertex (e.g. shortest paths adds the edge cost).
-        """
-        mask = senders[self.shard.send_src]
-        return (
-            self.shard.send_src[mask],
-            self.shard.send_dst[mask],
-            self.shard.send_weight[mask],
-        )
-
-    @staticmethod
-    def no_messages() -> Outbox:
-        """An empty outbox, for supersteps that send nothing."""
-        return Outbox.empty()
-
-    # ------------------------------------------------------------------
-    def aggregate(self, name: str, value: Any) -> None:
-        """Contribute a single value to the named aggregator."""
-        self._aggregators.aggregate(name, value)
-
-    def aggregated_value(self, name: str) -> Any:
-        """Value of the named aggregator from the previous superstep."""
-        return self._aggregators.value(name)
-
-    def aggregate_sequential(
-        self, name: str, per_vertex: np.ndarray, mask: np.ndarray
-    ) -> None:
-        """Aggregate one value per masked vertex, in canonical vertex order.
-
-        Uses ``np.cumsum`` (a strictly sequential left-to-right
-        accumulation, unlike ``np.sum``'s pairwise reduction) so a sum
-        aggregator receives bit-for-bit the value the dictionary engine
-        builds by aggregating vertex by vertex.
-        """
-        order = self.shard.vertex_order
-        selected = np.asarray(per_vertex, dtype=np.float64)[order][mask[order]]
-        if selected.size:
-            self._aggregators.aggregate(name, float(selected.cumsum()[-1]))
-
-
-class BatchVertexProgram:
-    """Base class for batch (array-native) vertex programs.
-
-    Subclasses implement :meth:`compute_batch`, the whole-superstep
-    counterpart of :meth:`~repro.pregel.program.VertexProgram.compute`:
-    it receives the shard, the combined incoming messages and a
-    :class:`BatchComputeContext`, and returns a :class:`BatchStep` of
-    ``(values, outbox, votes)`` arrays.
-
-    ``combine`` declares how concurrent messages to one vertex merge
-    ("sum" or "min"); it replaces the per-message combiner of the
-    dictionary engine.  The ``pre_superstep`` / ``post_superstep`` hooks
-    keep the dictionary-engine signature but run for *all* workers before
-    respectively after the batch compute (the batch is one barrier, so
-    there is no per-worker interleaving to preserve).
-
-    Contract of the returned :class:`BatchStep`: ``values`` is the full
-    post-superstep value array (coerced to ``float64``); ``outbox``
-    holds the messages to deliver next superstep in canonical
-    (worker-major) order; ``votes`` is applied only where a vertex
-    computed this superstep (message arrival re-activates a halted
-    vertex, as in Pregel); the optional ``edges_scanned`` overrides the
-    per-vertex edge counts charged to the cost-model statistics.
-    """
-
-    #: Message combination mode: "sum" or "min".
-    combine: ClassVar[str] = "sum"
-
-    def register_aggregators(self, aggregators: AggregatorRegistry) -> None:
-        """Register the aggregators the program needs."""
-
-    def pre_superstep(
-        self,
-        superstep: int,
-        worker_store: dict[str, Any],
-        aggregators: AggregatorRegistry,
-    ) -> None:
-        """Per-worker hook before the batch compute."""
-
-    def compute_batch(
-        self,
-        shard: ShardedGraph,
-        messages: DeliveredMessages,
-        ctx: BatchComputeContext,
-    ) -> BatchStep:
-        """Whole-superstep compute over the shard (must be overridden)."""
-        raise NotImplementedError
-
-    def post_superstep(
-        self,
-        superstep: int,
-        worker_store: dict[str, Any],
-        aggregators: AggregatorRegistry,
-    ) -> None:
-        """Per-worker hook after the batch compute."""
-
-
-@dataclass
-class _VectorRunState:
-    """Everything the vector engine needs to continue a run.
-
-    The checkpoint counterpart of ``engine._DictRunState``: the dynamic
-    arrays (vertex values, halted mask, combined in-flight messages) plus
-    the object state (program, master, aggregators and history, run
-    statistics, worker stores).  The static :class:`ShardedGraph` is
-    *not* here — it never changes during a run, so snapshots store its
-    arrays once per checkpoint directory (``shard.npz``) instead of once
-    per snapshot.
-    """
-
-    program: BatchVertexProgram
-    master: MasterCompute | None
-    values: np.ndarray
-    halted: np.ndarray
-    incoming: DeliveredMessages
-    run_stats: RunStats
-    aggregators: AggregatorRegistry
-    aggregator_history: dict[str, list[Any]]
-    worker_stores: list[dict[str, Any]]
-    superstep: int = 0
-
-
-@dataclass
-class VectorPregelResult:
-    """Outcome of a vector-engine run (mirrors :class:`PregelResult`).
-
-    As with the dictionary engine, a crash recovery restores the run from
-    a checkpoint: the program/master objects the caller passed in may end
-    up stale copies, so final state must be read from the result
-    (``values``, ``master``), never from the inputs.
-    """
-
-    values: np.ndarray
-    original_ids: np.ndarray
-    num_supersteps: int
-    stats: RunStats
-    aggregators: AggregatorRegistry
-    aggregator_history: dict[str, list[Any]]
-    halt_reason: str = "converged"
-    #: The master compute the run actually finished with (``None`` when
-    #: the run had no master); after a recovery, the restored instance.
-    master: MasterCompute | None = None
-
-    def vertex_values(self) -> dict[int, Any]:
-        """Mapping of original vertex id to final value (as floats)."""
-        return dict(zip(self.original_ids.tolist(), self.values.tolist()))
-
-    def simulated_time(self, model: ClusterCostModel) -> float:
-        """Total simulated runtime under ``model``."""
-        return self.stats.simulated_time(model)
-
-
-class VectorPregelEngine:
-    """Sharded, array-native simulation of a Giraph cluster.
-
-    Accepts the same placement functions, cost models and master computes
-    as :class:`~repro.pregel.engine.PregelEngine` and produces the same
-    statistics; only the program interface differs
-    (:class:`BatchVertexProgram` instead of per-vertex ``compute``).
-    """
-
-    def __init__(
-        self,
-        num_workers: int = 4,
-        placement: PlacementFn | None = None,
-        cost_model: ClusterCostModel | None = None,
-        max_supersteps: int = 500,
-        drop_unknown_targets: bool = False,
-        checkpoint_interval: int | None = None,
-        checkpoint_dir: str | os.PathLike | None = None,
-        fault_plan: FaultPlan | None = None,
-    ) -> None:
-        if num_workers <= 0:
-            raise PregelError("num_workers must be positive")
-        if max_supersteps <= 0:
-            raise PregelError("max_supersteps must be positive")
-        _validate_fault_tolerance_args(checkpoint_interval, checkpoint_dir, fault_plan)
-        self.num_workers = num_workers
-        self.placement = placement if placement is not None else hash_placement(num_workers)
-        self.cost_model = cost_model if cost_model is not None else ClusterCostModel()
-        self.max_supersteps = max_supersteps
-        self.drop_unknown_targets = drop_unknown_targets
-        self.checkpoint_interval = checkpoint_interval
-        self.checkpoint_dir = checkpoint_dir
-        self.fault_plan = fault_plan
-
-    # ------------------------------------------------------------------
-    # graph loading
-    # ------------------------------------------------------------------
-    def shard_graph(
-        self,
-        indptr: np.ndarray,
-        targets: np.ndarray,
-        weights: np.ndarray,
-        original_ids: np.ndarray,
-    ) -> ShardedGraph:
-        """Place every vertex and build the sharded adjacency."""
-        original_ids = np.asarray(original_ids, dtype=np.int64)
-        if original_ids.size and int(original_ids.min()) < 0:
-            raise PregelError("vertex ids must be non-negative")
-        worker_of = np.fromiter(
-            (self.placement(v) for v in original_ids.tolist()),
-            dtype=np.int64,
-            count=original_ids.shape[0],
-        )
-        if worker_of.size and not (
-            0 <= int(worker_of.min()) and int(worker_of.max()) < self.num_workers
-        ):
-            raise PregelError(
-                f"placement returned a worker outside [0, {self.num_workers})"
-            )
-        return ShardedGraph(
-            indptr, targets, weights, original_ids, worker_of, self.num_workers
-        )
-
-    def shard_csr(self, csr: CSRGraph) -> ShardedGraph:
-        """Shard a :class:`CSRGraph` (undirected: slots are out-edges)."""
-        return self.shard_graph(csr.indptr, csr.indices, csr.weights, csr.original_ids)
-
-    def shard_digraph(self, graph: DiGraph) -> ShardedGraph:
-        """Shard a directed graph; every directed edge is one out-edge.
-
-        Vertex and edge iteration order matches
-        :meth:`PregelEngine.vertices_from_digraph`, so runs over the two
-        representations are comparable slot for slot.  Edge weights
-        default to 1, like the dictionary loader.  The only per-edge
-        Python work is draining the edge iterator once; densification and
-        CSR construction run vectorized.
-        """
-        ids = np.fromiter(graph.vertices(), dtype=np.int64, count=graph.num_vertices)
-        edge_rows = [(source, target) for source, target in graph.edges()]
-        if edge_rows:
-            pairs = np.asarray(edge_rows, dtype=np.int64)
-        else:
-            pairs = np.empty((0, 2), dtype=np.int64)
-        sources = _dense_ids(ids, pairs[:, 0])
-        targets = _dense_ids(ids, pairs[:, 1])
-        weights = np.ones(sources.shape[0], dtype=np.int64)
-        return self._shard_half_edges(ids, sources, targets, weights)
-
-    def shard_undirected(self, graph: UndirectedGraph) -> ShardedGraph:
-        """Shard an undirected graph; every edge becomes two out-edges.
-
-        The two directions are interleaved in edge-iteration order,
-        matching the insertion order of
-        :meth:`PregelEngine.vertices_from_undirected`; as with the
-        directed loader, only the edge-iterator drain is per-edge Python.
-        """
-        ids = np.fromiter(graph.vertices(), dtype=np.int64, count=graph.num_vertices)
-        edge_rows = [(u, v, w) for u, v, w in graph.edges()]
-        if edge_rows:
-            triples = np.asarray(edge_rows, dtype=np.int64)
-        else:
-            triples = np.empty((0, 3), dtype=np.int64)
-        u = _dense_ids(ids, triples[:, 0])
-        v = _dense_ids(ids, triples[:, 1])
-        num_slots = 2 * u.shape[0]
-        sources = np.empty(num_slots, dtype=np.int64)
-        targets = np.empty(num_slots, dtype=np.int64)
-        weights = np.empty(num_slots, dtype=np.int64)
-        sources[0::2], sources[1::2] = u, v
-        targets[0::2], targets[1::2] = v, u
-        weights[0::2] = weights[1::2] = triples[:, 2]
-        return self._shard_half_edges(ids, sources, targets, weights)
-
-    def _shard_half_edges(
-        self,
-        ids: np.ndarray,
-        sources: np.ndarray,
-        targets: np.ndarray,
-        weights: np.ndarray,
-    ) -> ShardedGraph:
-        # build_csr_arrays sorts stably by source, which keeps the
-        # per-vertex slot order identical to the dictionary engine's
-        # edge-insertion order.
-        indptr, sorted_targets, sorted_weights = build_csr_arrays(
-            sources, targets, weights, ids.shape[0]
-        )
-        return self.shard_graph(indptr, sorted_targets, sorted_weights, ids)
-
-    # ------------------------------------------------------------------
-    # execution
-    # ------------------------------------------------------------------
-    def run(
-        self,
-        program: BatchVertexProgram,
-        shard: ShardedGraph,
-        master: MasterCompute | None = None,
-    ) -> VectorPregelResult:
-        """Execute ``program`` over ``shard`` until convergence.
-
-        When checkpointing is enabled and a fault recovery occurred, the
-        run continues on state restored from a snapshot — read final
-        state from the returned :class:`VectorPregelResult` (``values``,
-        ``master``), not from the ``program``/``master`` arguments.
-        """
-        combine = program.combine
-        if combine not in ("sum", "min"):
-            raise PregelError(f"unsupported combine mode {combine!r}")
-        num_vertices = shard.num_vertices
-
-        aggregators = AggregatorRegistry()
-        program.register_aggregators(aggregators)
-        if master is not None:
-            master.initialize(aggregators)
-
-        state = _VectorRunState(
-            program=program,
-            master=master,
-            values=np.zeros(num_vertices, dtype=np.float64),
-            halted=np.zeros(num_vertices, dtype=bool),
-            incoming=DeliveredMessages(
-                np.zeros(num_vertices, dtype=bool),
-                _neutral_payload(combine, num_vertices),
-                0,
-            ),
-            run_stats=RunStats(),
-            aggregators=aggregators,
-            aggregator_history={name: [] for name in aggregators.names()},
-            worker_stores=[{} for _ in range(self.num_workers)],
-        )
-        manager = None
-        if self.checkpoint_interval is not None:
-            manager = CheckpointManager(
-                self.checkpoint_dir, self.checkpoint_interval, VECTOR_KIND
-            )
-        if self.fault_plan is not None:
-            self.fault_plan.reset()
-        return self._execute(
-            state, shard, manager, self.fault_plan, RecoveryBookkeeping()
-        )
-
-    def _execute(
-        self,
-        state: _VectorRunState,
-        shard: ShardedGraph,
-        manager: CheckpointManager | None,
-        plan: FaultPlan | None,
-        bookkeeping: RecoveryBookkeeping,
-    ) -> VectorPregelResult:
-        """Run to completion, recovering injected crashes from snapshots.
-
-        Mirrors ``PregelEngine._execute``: a crash rolls back to the
-        latest snapshot written this run; an exhausted ``max_recoveries``
-        budget aborts with :class:`~repro.errors.RecoveryAbortedError`,
-        leaving the checkpoint directory ready for
-        :func:`~repro.pregel.checkpoint.resume_from_checkpoint`.
-        """
-        while True:
-            try:
-                return self._superstep_loop(state, shard, manager, plan, bookkeeping)
-            except InjectedWorkerCrash as crash:
-                bookkeeping.recoveries += 1
-                if plan is None or bookkeeping.recoveries > plan.max_recoveries:
-                    raise RecoveryAbortedError(
-                        crash.superstep, bookkeeping.recoveries - 1
-                    ) from crash
-                snapshot = manager.load_latest(this_run_only=True)
-                state = self._state_from_snapshot(snapshot)
-
-    def _engine_params(self) -> dict[str, Any]:
-        """Constructor arguments a snapshot needs to rebuild this engine.
-
-        As in the dictionary engine, the placement function is excluded:
-        the shard's ``worker_of`` array already encodes the placement.
-        """
-        return {
-            "num_workers": self.num_workers,
-            "cost_model": self.cost_model,
-            "max_supersteps": self.max_supersteps,
-            "drop_unknown_targets": self.drop_unknown_targets,
-        }
-
-    @staticmethod
-    def _state_from_snapshot(snapshot: Snapshot) -> _VectorRunState:
-        """Rebuild a :class:`_VectorRunState` from a loaded snapshot."""
-        arrays = snapshot.arrays
-        objects = snapshot.objects
-        return _VectorRunState(
-            program=objects["program"],
-            master=objects["master"],
-            values=arrays["values"],
-            halted=arrays["halted"],
-            incoming=DeliveredMessages(
-                arrays["msg_has"], arrays["msg_payload"], int(objects["msg_count"])
-            ),
-            run_stats=objects["run_stats"],
-            aggregators=objects["aggregators"],
-            aggregator_history=objects["aggregator_history"],
-            worker_stores=objects["worker_stores"],
-            superstep=snapshot.superstep,
-        )
-
-    @classmethod
-    def _resume_from_snapshot(
-        cls,
-        snapshot: Snapshot,
-        checkpoint_dir: str | os.PathLike,
-        fault_plan: FaultPlan | None = None,
-    ) -> VectorPregelResult:
-        """Rebuild engine and shard from ``checkpoint_dir`` and finish.
-
-        The static CSR arrays come from the directory's ``shard.npz``;
-        :class:`ShardedGraph` recomputes its canonical orderings from
-        them deterministically (stable argsorts), so a resumed run sends
-        and aggregates in exactly the original order.
-        """
-        params = snapshot.engine_params
-        engine = cls(
-            num_workers=params["num_workers"],
-            cost_model=params["cost_model"],
-            max_supersteps=params["max_supersteps"],
-            drop_unknown_targets=params["drop_unknown_targets"],
-            checkpoint_interval=snapshot.interval,
-            checkpoint_dir=checkpoint_dir,
-            fault_plan=fault_plan,
-        )
-        manager = CheckpointManager(checkpoint_dir, snapshot.interval, VECTOR_KIND)
-        manager._written.add(snapshot.superstep)
-        shard_arrays = manager.load_shard_arrays()
-        shard = ShardedGraph(
-            shard_arrays["indptr"],
-            shard_arrays["targets"],
-            shard_arrays["weights"],
-            shard_arrays["original_ids"],
-            shard_arrays["worker_of"],
-            int(shard_arrays["num_workers"][0]),
-        )
-        if fault_plan is not None:
-            fault_plan.reset()
-        state = cls._state_from_snapshot(snapshot)
-        return engine._execute(state, shard, manager, fault_plan, RecoveryBookkeeping())
-
-    @staticmethod
-    def _shard_arrays(shard: ShardedGraph) -> dict[str, np.ndarray]:
-        """The static shard arrays persisted once per checkpoint dir."""
-        return {
-            "indptr": shard.indptr,
-            "targets": shard.adj_targets,
-            "weights": shard.adj_weights,
-            "original_ids": shard.original_ids,
-            "worker_of": shard.worker_of,
-            "num_workers": np.array([shard.num_workers], dtype=np.int64),
-        }
-
-    def _superstep_loop(
-        self,
-        state: _VectorRunState,
-        shard: ShardedGraph,
-        manager: CheckpointManager | None,
-        plan: FaultPlan | None,
-        bookkeeping: RecoveryBookkeeping,
-    ) -> VectorPregelResult:
-        program = state.program
-        combine = program.combine
-        master = state.master
-        worker_stores = state.worker_stores
-        run_stats = state.run_stats
-        aggregators = state.aggregators
-        aggregator_history = state.aggregator_history
-        num_vertices = shard.num_vertices
-        halt_reason = "converged"
-
-        while True:
-            superstep = state.superstep
-            if superstep >= self.max_supersteps:
-                halt_reason = "max_supersteps"
-                break
-
-            # Superstep-boundary checkpoint, before the master computes
-            # (mirrors the dictionary engine; see its _superstep_loop).
-            if manager is not None and manager.due(superstep):
-                arrays = {
-                    "values": state.values,
-                    "halted": state.halted,
-                    "msg_has": state.incoming.has_message,
-                    "msg_payload": state.incoming.payload,
-                }
-                objects = {
-                    "program": program,
-                    "master": master,
-                    "msg_count": state.incoming.count,
-                    "run_stats": run_stats,
-                    "aggregators": aggregators,
-                    "aggregator_history": aggregator_history,
-                    "worker_stores": worker_stores,
-                }
-                if manager.save_vector(
-                    superstep,
-                    arrays,
-                    objects,
-                    self._engine_params(),
-                    self._shard_arrays(shard),
-                ):
-                    bookkeeping.checkpoints_written += 1
-
-            if master is not None:
-                master.compute(superstep, aggregators)
-                if master.halt_requested:
-                    halt_reason = "master_halt"
-                    break
-
-            any_active = bool((~state.halted).any())
-            if superstep > 0 and state.incoming.count == 0 and not any_active:
-                halt_reason = "converged"
-                break
-
-            # Probe the crash plan in worker order before the batch
-            # compute: the batch is one barrier, so a crashing worker
-            # takes the whole superstep down, but the budget consumption
-            # order matches the dictionary engine's per-worker probes.
-            if plan is not None:
-                for worker in range(self.num_workers):
-                    if plan.crash_fires(superstep, worker):
-                        raise InjectedWorkerCrash(superstep, worker)
-
-            incoming = state.incoming
-            # A message re-activates its target; already-active vertices
-            # compute regardless.
-            computed = incoming.has_message | ~state.halted
-
-            for store in worker_stores:
-                store.clear()
-                program.pre_superstep(superstep, store, aggregators)
-
-            ctx = BatchComputeContext(
-                superstep, shard, state.values, computed, aggregators
-            )
-            step = program.compute_batch(shard, incoming, ctx)
-            values = np.asarray(step.values, dtype=np.float64)
-            votes = np.asarray(step.votes, dtype=bool)
-            halted = np.where(computed, votes, state.halted)
-
-            # Unknown-target mask, computed once and shared by the
-            # statistics and delivery passes.
-            outbox = step.outbox
-            unknown = (outbox.targets < 0) | (outbox.targets >= num_vertices)
-
-            run_stats.superstep_stats.append(
-                self._superstep_stats(
-                    superstep, shard, computed, outbox, unknown, step.edges_scanned
-                )
-            )
-
-            for store in worker_stores:
-                program.post_superstep(superstep, store, aggregators)
-
-            aggregators.advance_superstep()
-            for name in aggregators.names():
-                aggregator_history.setdefault(name, []).append(aggregators.value(name))
-
-            delivered = self._deliver(
-                shard, outbox, unknown, combine, run_stats, superstep
-            )
-            # The synchronous barrier: transient delivery faults retry
-            # here (simulated backoff) and may escalate to a crash.
-            if plan is not None:
-                apply_delivery_faults(plan, superstep, bookkeeping)
-
-            state.values = values
-            state.halted = halted
-            state.incoming = delivered
-            state.superstep = superstep + 1
-
-        run_stats.checkpoints_written = bookkeeping.checkpoints_written
-        run_stats.recoveries = bookkeeping.recoveries
-        run_stats.delivery_retries = bookkeeping.delivery_retries
-        return VectorPregelResult(
-            values=state.values,
-            original_ids=shard.original_ids,
-            num_supersteps=state.superstep,
-            stats=run_stats,
-            aggregators=aggregators,
-            aggregator_history=aggregator_history,
-            halt_reason=halt_reason,
-            master=master,
-        )
-
-    # ------------------------------------------------------------------
-    def run_on_csr(
-        self,
-        program: BatchVertexProgram,
-        csr: CSRGraph,
-        master: MasterCompute | None = None,
-    ) -> VectorPregelResult:
-        """Convenience wrapper: shard a CSR graph and run ``program``."""
-        return self.run(program, self.shard_csr(csr), master=master)
-
-    def run_on_digraph(
-        self,
-        program: BatchVertexProgram,
-        graph: DiGraph,
-        master: MasterCompute | None = None,
-    ) -> VectorPregelResult:
-        """Convenience wrapper: shard a directed graph and run ``program``."""
-        return self.run(program, self.shard_digraph(graph), master=master)
-
-    def run_on_undirected(
-        self,
-        program: BatchVertexProgram,
-        graph: UndirectedGraph,
-        master: MasterCompute | None = None,
-    ) -> VectorPregelResult:
-        """Convenience wrapper: shard an undirected graph and run ``program``."""
-        return self.run(program, self.shard_undirected(graph), master=master)
-
-    # ------------------------------------------------------------------
-    def _superstep_stats(
-        self,
-        superstep: int,
-        shard: ShardedGraph,
-        computed: np.ndarray,
-        outbox: Outbox,
-        unknown: np.ndarray,
-        edges_scanned: np.ndarray | None = None,
-    ) -> SuperstepStats:
-        """Per-worker counters from bincounts over the batch arrays."""
-        num_workers = self.num_workers
-        worker_of = shard.worker_of
-        edge_counts = shard.degrees if edges_scanned is None else edges_scanned
-        vertices_per_worker = np.bincount(
-            worker_of[computed], minlength=num_workers
-        )
-        edges_per_worker = np.bincount(
-            worker_of[computed],
-            weights=edge_counts[computed].astype(np.float64),
-            minlength=num_workers,
-        )
-        if len(outbox):
-            if outbox.sources is shard.send_src:
-                source_worker = shard.send_src_worker
-            else:
-                source_worker = worker_of[outbox.sources]
-            if unknown.any():
-                # A message to a nonexistent id counts as remote traffic.
-                target_worker = np.where(
-                    unknown, -1, worker_of[np.where(unknown, 0, outbox.targets)]
-                )
-            else:
-                target_worker = worker_of[outbox.targets]
-            # Composite key: one bincount splits sends into (worker, locality).
-            key = source_worker * 2 + (source_worker == target_worker)
-            message_counts = np.bincount(key, minlength=2 * num_workers)
-        else:
-            message_counts = np.zeros(2 * num_workers, dtype=np.int64)
-        stats = SuperstepStats(superstep=superstep)
-        for worker in range(num_workers):
-            stats.worker_stats.append(
-                WorkerStats(
-                    vertices_computed=int(vertices_per_worker[worker]),
-                    edges_scanned=int(edges_per_worker[worker]),
-                    local_messages_sent=int(message_counts[2 * worker + 1]),
-                    remote_messages_sent=int(message_counts[2 * worker]),
-                )
-            )
-        return stats
-
-    def _deliver(
-        self,
-        shard: ShardedGraph,
-        outbox: Outbox,
-        unknown: np.ndarray,
-        combine: str,
-        run_stats: RunStats,
-        superstep: int,
-    ) -> DeliveredMessages:
-        """Combine the outbox per target vertex for the next superstep."""
-        num_vertices = shard.num_vertices
-        targets = outbox.targets
-        payloads = outbox.payloads
-        if unknown.any():
-            if not self.drop_unknown_targets:
-                bad_ids = np.unique(targets[unknown])
-                raise PregelError(
-                    f"messages sent to {bad_ids.shape[0]} nonexistent "
-                    f"vertex id(s) during superstep {superstep} "
-                    f"(e.g. {bad_ids[:5].tolist()}); pass "
-                    "drop_unknown_targets=True to drop them instead"
-                )
-            run_stats.messages_dropped += int(unknown.sum())
-            targets = targets[~unknown]
-            payloads = payloads[~unknown]
-        if targets.size == 0:
-            return DeliveredMessages(
-                np.zeros(num_vertices, dtype=bool),
-                _neutral_payload(combine, num_vertices),
-                0,
-            )
-        has_message = np.bincount(targets, minlength=num_vertices) > 0
-        if combine == "sum":
-            # bincount accumulates strictly in input order, so per-target
-            # sums reproduce the dictionary engine's Python sum() exactly.
-            payload = np.bincount(targets, weights=payloads, minlength=num_vertices)
-        else:
-            payload = np.full(num_vertices, np.inf, dtype=np.float64)
-            np.minimum.at(payload, targets, payloads)
-        return DeliveredMessages(has_message, payload, int(targets.size))
+__all__ = [
+    "BatchComputeContext",
+    "BatchStep",
+    "BatchVertexProgram",
+    "DeliveredMessages",
+    "Outbox",
+    "ShardedGraph",
+    "VectorPregelEngine",
+    "VectorPregelResult",
+]

@@ -1,0 +1,362 @@
+"""The executor-equivalence contract of the parallel vector runtime.
+
+``VectorPregelEngine(parallel=N)`` hosts its supersteps in N OS processes
+over shared memory (:mod:`repro.pregel.shm_executor`); the contract is
+that every observable of a run — final values, halt reason, superstep
+count, aggregator histories, per-worker statistics — is **byte-identical**
+to the in-process :class:`~repro.pregel.serial_executor.SerialExecutor`,
+for all four applications and for the Spinner partitioning itself, under
+both placements, and composed with checkpoint/crash-recovery.  These
+tests pin that contract, plus the resource-hygiene guarantee: no
+``/dev/shm`` segment and no worker process outlives a run, on any exit
+path.
+"""
+
+from __future__ import annotations
+
+import glob
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.apps import APP_PROGRAMS, make_app_program
+from repro.core.config import SpinnerConfig
+from repro.core.spinner import SpinnerPartitioner
+from repro.errors import ConfigurationError, PregelError, RecoveryAbortedError
+from repro.faults import FaultPlan, MessageFault, WorkerCrash
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import barabasi_albert, powerlaw_cluster, watts_strogatz
+from repro.pregel import resume_from_checkpoint
+from repro.pregel.batch import BatchStep, BatchVertexProgram, Outbox
+from repro.pregel.executor import plan_worker_groups
+from repro.pregel.serial_executor import SerialExecutor
+from repro.pregel.shm_executor import START_METHOD_ENV, SharedMemoryExecutor
+from repro.pregel.vector_engine import VectorPregelEngine
+from repro.pregel.worker import partition_placement
+
+NUM_WORKERS = 4
+
+
+def _undirected_graph():
+    return watts_strogatz(60, 6, 0.3, seed=5)
+
+
+def _directed_graph():
+    return barabasi_albert(50, 3, seed=9, directed=True)
+
+
+def _placements():
+    assignment = {v: v // 7 for v in range(200)}
+    return {
+        "hash": None,
+        "partition": partition_placement(assignment, NUM_WORKERS),
+    }
+
+
+def _program_kwargs(app, directed):
+    return {
+        "degree": {},
+        "pagerank": {"num_iterations": 6},
+        "sssp": {"source": 10 if directed else 0},
+        "wcc": {},
+    }[app]
+
+
+def _run_app(app, parallel, placement=None, directed=None, **engine_kwargs):
+    if directed is None:
+        directed = app == "sssp"
+    program = make_app_program(app, "vector", **_program_kwargs(app, directed))
+    engine = VectorPregelEngine(
+        num_workers=NUM_WORKERS,
+        placement=placement,
+        parallel=parallel,
+        **engine_kwargs,
+    )
+    if directed:
+        return engine.run_on_digraph(program, _directed_graph())
+    return engine.run_on_undirected(program, _undirected_graph())
+
+
+def assert_identical(serial, parallel_result):
+    """The full byte-identical contract between the two executors."""
+    assert np.array_equal(serial.values, parallel_result.values)
+    assert np.array_equal(serial.original_ids, parallel_result.original_ids)
+    assert serial.num_supersteps == parallel_result.num_supersteps
+    assert serial.halt_reason == parallel_result.halt_reason
+    assert serial.aggregator_history == parallel_result.aggregator_history
+    assert serial.stats.messages_dropped == parallel_result.stats.messages_dropped
+    serial_steps = serial.stats.superstep_stats
+    parallel_steps = parallel_result.stats.superstep_stats
+    assert len(serial_steps) == len(parallel_steps)
+    for serial_step, parallel_step in zip(serial_steps, parallel_steps):
+        assert serial_step.worker_stats == parallel_step.worker_stats, (
+            serial_step.superstep
+        )
+
+
+def assert_no_leaks():
+    """No shared-memory segment and no worker process survives a run."""
+    assert glob.glob("/dev/shm/spinner-repro-*") == []
+    assert [
+        p for p in multiprocessing.active_children()
+        if p.name.startswith("repro-shard-group-")
+    ] == []
+
+
+# ----------------------------------------------------------------------
+# the equivalence matrix: apps x parallelism x placements
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("placement_name", ["hash", "partition"])
+@pytest.mark.parametrize("parallel", [1, 2, 4])
+@pytest.mark.parametrize("app", sorted(APP_PROGRAMS))
+def test_apps_identical_across_executors(app, parallel, placement_name):
+    placement = _placements()[placement_name]
+    serial = _run_app(app, 1, placement)
+    result = _run_app(app, parallel, placement)
+    assert serial.num_supersteps > 1
+    assert_identical(serial, result)
+    assert_no_leaks()
+
+
+def test_pagerank_identical_on_directed_graph():
+    serial = _run_app("pagerank", 1, directed=True)
+    result = _run_app("pagerank", 3, directed=True)
+    assert_identical(serial, result)
+    assert_no_leaks()
+
+
+# ----------------------------------------------------------------------
+# the Spinner partitioning itself (BatchSpinnerProgram end to end)
+# ----------------------------------------------------------------------
+def _spinner_partition(parallel, config, graph, placement=None):
+    partitioner = SpinnerPartitioner(
+        config,
+        num_workers=NUM_WORKERS,
+        engine="vector",
+        placement=placement,
+        parallel=parallel,
+    )
+    return partitioner.partition(graph, 4)
+
+
+def assert_spinner_identical(serial, result):
+    assert serial.assignment == result.assignment
+    assert serial.iterations == result.iterations
+    assert serial.history == result.history
+    assert serial.phi == result.phi
+    assert serial.rho == result.rho
+    assert_identical(serial.pregel_result, result.pregel_result)
+
+
+@pytest.mark.parametrize("parallel", [2, 4])
+@pytest.mark.parametrize("worker_local_updates", [True, False])
+def test_spinner_identical_across_executors(parallel, worker_local_updates):
+    graph = powerlaw_cluster(
+        150, edges_per_vertex=4, triangle_probability=0.5, seed=5
+    )
+    config = SpinnerConfig(
+        seed=3, max_iterations=15, worker_local_updates=worker_local_updates
+    )
+    serial = _spinner_partition(1, config, graph)
+    result = _spinner_partition(parallel, config, graph)
+    assert_spinner_identical(serial, result)
+    assert_no_leaks()
+
+
+def test_spinner_identical_on_directed_graph_with_placement():
+    graph = barabasi_albert(80, 3, seed=9, directed=True)
+    config = SpinnerConfig(seed=11, max_iterations=12)
+    placement = partition_placement({v: v // 9 for v in range(200)}, NUM_WORKERS)
+    serial = _spinner_partition(1, config, graph, placement)
+    result = _spinner_partition(3, config, graph, placement)
+    assert_spinner_identical(serial, result)
+    assert_no_leaks()
+
+
+# ----------------------------------------------------------------------
+# checkpoint / kill / recover composed with the parallel executor
+# ----------------------------------------------------------------------
+def _small_digraph() -> DiGraph:
+    edges = [(i, (i * 3 + 1) % 60) for i in range(60)]
+    edges += [(i, (i + 11) % 60) for i in range(60)]
+    edges += [(0, i) for i in range(1, 8)]
+    return DiGraph.from_edges(edges)
+
+
+def _crashy_plan(crash_superstep: int = 2) -> FaultPlan:
+    return FaultPlan(
+        crashes=(WorkerCrash(superstep=crash_superstep, worker=1),),
+        message_faults=(MessageFault(superstep=crash_superstep + 1, failures=2),),
+        seed=5,
+    )
+
+
+def _run_faulted(app, parallel, tmp_path, plan, **kwargs):
+    program = make_app_program(app, "vector", **kwargs)
+    engine = VectorPregelEngine(
+        num_workers=3,
+        parallel=parallel,
+        checkpoint_interval=2,
+        checkpoint_dir=tmp_path,
+        fault_plan=plan,
+    )
+    return engine.run_on_digraph(program, _small_digraph())
+
+
+@pytest.mark.parametrize("app", ["pagerank", "wcc"])
+def test_crash_recovery_under_parallel_is_bit_exact(app, tmp_path):
+    kwargs = {"num_iterations": 6} if app == "pagerank" else {}
+    program = make_app_program(app, "vector", **kwargs)
+    baseline = VectorPregelEngine(num_workers=3).run_on_digraph(
+        program, _small_digraph()
+    )
+    recovered = _run_faulted(app, 2, tmp_path, _crashy_plan(), **kwargs)
+    assert recovered.stats.recoveries == 1
+    assert recovered.stats.delivery_retries == 2
+    assert recovered.stats.checkpoints_written >= 1
+    assert_identical(baseline, recovered)
+    assert_no_leaks()
+
+
+def test_abort_then_offline_resume_after_parallel_crash(tmp_path):
+    program = make_app_program("pagerank", "vector", num_iterations=6)
+    baseline = VectorPregelEngine(num_workers=3).run_on_digraph(
+        program, _small_digraph()
+    )
+    plan = FaultPlan(crashes=(WorkerCrash(superstep=2),), max_recoveries=0)
+    with pytest.raises(RecoveryAbortedError) as excinfo:
+        _run_faulted("pagerank", 2, tmp_path, plan, num_iterations=6)
+    assert excinfo.value.superstep == 2
+    assert excinfo.value.recoveries == 0
+    assert_no_leaks()
+    # The resumed run re-reads parallel= from the snapshot's engine params.
+    resumed = resume_from_checkpoint(tmp_path)
+    assert_identical(baseline, resumed)
+    assert_no_leaks()
+
+
+def test_spinner_partitioner_recovery_under_parallel(tmp_path):
+    graph = _small_digraph()
+    clean = SpinnerConfig(seed=7, max_iterations=12, engine="vector")
+    baseline = SpinnerPartitioner(clean, num_workers=3).partition(graph, 4)
+    faulted = clean.with_options(
+        checkpoint_interval=3,
+        checkpoint_dir=str(tmp_path),
+        fault_plan=_crashy_plan(),
+    )
+    recovered = SpinnerPartitioner(faulted, num_workers=3, parallel=2).partition(
+        graph, 4
+    )
+    assert recovered.pregel_result.stats.recoveries == 1
+    assert_spinner_identical(baseline, recovered)
+    assert_no_leaks()
+
+
+# ----------------------------------------------------------------------
+# resource hygiene on every exit path
+# ----------------------------------------------------------------------
+class _ExplodingProgram(BatchVertexProgram):
+    """A batch program that raises inside a worker process at superstep 2."""
+
+    combine = "sum"
+
+    def compute_batch(self, shard, incoming, ctx):
+        if ctx.superstep == 2:
+            raise ValueError("deliberate mid-run failure")
+        values = np.zeros(shard.num_vertices)
+        votes = np.zeros(shard.num_vertices, dtype=bool)
+        outbox = ctx.send_to_all_neighbors(
+            np.ones(shard.num_vertices, dtype=bool), values
+        )
+        return BatchStep(values, outbox, votes)
+
+
+def test_worker_exception_propagates_and_cleans_up():
+    engine = VectorPregelEngine(num_workers=NUM_WORKERS, parallel=2)
+    with pytest.raises(ValueError, match="deliberate mid-run failure"):
+        engine.run_on_undirected(_ExplodingProgram(), _undirected_graph())
+    assert_no_leaks()
+
+
+def test_unknown_target_error_is_serial_identical():
+    class StrayProgram(BatchVertexProgram):
+        combine = "sum"
+
+        def compute_batch(self, shard, incoming, ctx):
+            values = np.zeros(shard.num_vertices)
+            votes = np.ones(shard.num_vertices, dtype=bool)
+            order = ctx.owned_vertices()
+            sources = order if order is not None else shard.vertex_order
+            targets = np.full(sources.shape[0], shard.num_vertices + 7)
+            return BatchStep(
+                values, Outbox(sources, targets, np.zeros(sources.shape[0])), votes
+            )
+
+    messages = {}
+    for parallel in (1, 2):
+        engine = VectorPregelEngine(num_workers=NUM_WORKERS, parallel=parallel)
+        with pytest.raises(PregelError) as excinfo:
+            engine.run_on_undirected(StrayProgram(), _undirected_graph())
+        messages[parallel] = str(excinfo.value)
+    assert messages[1] == messages[2]
+    assert_no_leaks()
+
+
+def test_no_shm_leak_across_many_runs():
+    for _ in range(3):
+        _run_app("degree", 2)
+        assert_no_leaks()
+
+
+# ----------------------------------------------------------------------
+# spawn start method (what CI's spawn-safe guard protects)
+# ----------------------------------------------------------------------
+def test_spawn_start_method_is_bit_exact(monkeypatch):
+    serial = _run_app("pagerank", 1)
+    monkeypatch.setenv(START_METHOD_ENV, "spawn")
+    result = _run_app("pagerank", 2)
+    assert_identical(serial, result)
+    assert_no_leaks()
+
+
+# ----------------------------------------------------------------------
+# executor plumbing
+# ----------------------------------------------------------------------
+def test_plan_worker_groups_partitions_contiguously():
+    assert plan_worker_groups(8, 2) == [(0, 4), (4, 8)]
+    assert plan_worker_groups(5, 2) == [(0, 2), (2, 5)]
+    assert plan_worker_groups(3, 8) == [(0, 1), (1, 2), (2, 3)]
+    assert plan_worker_groups(6, 1) == [(0, 6)]
+    bounds = plan_worker_groups(13, 4)
+    assert bounds[0][0] == 0 and bounds[-1][1] == 13
+    assert all(lo < hi for lo, hi in bounds)
+    assert all(
+        prev_hi == lo for (_, prev_hi), (lo, _) in zip(bounds, bounds[1:])
+    )
+
+
+def test_parallel_one_uses_serial_executor():
+    engine = VectorPregelEngine(num_workers=4, parallel=1)
+    assert isinstance(engine._make_executor(), SerialExecutor)
+    engine = VectorPregelEngine(num_workers=4, parallel=2)
+    assert isinstance(engine._make_executor(), SharedMemoryExecutor)
+
+
+def test_parallel_must_be_positive():
+    with pytest.raises(PregelError, match="parallel"):
+        VectorPregelEngine(num_workers=4, parallel=0)
+
+
+def test_dict_engine_rejects_parallel():
+    with pytest.raises(ConfigurationError, match="vector"):
+        SpinnerPartitioner(SpinnerConfig(), engine="dict", parallel=2)
+
+
+def test_vector_engine_import_shim():
+    # The historical import path must keep working (and resolve to the
+    # same class the coordinator module defines).
+    from repro.pregel import vector_coordinator, vector_engine
+
+    assert vector_engine.VectorPregelEngine is vector_coordinator.VectorPregelEngine
+    assert vector_engine.VectorPregelResult is vector_coordinator.VectorPregelResult
