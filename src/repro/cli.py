@@ -10,7 +10,10 @@
 * ``experiment`` — run one of the paper's table/figure harnesses and print
   the rows it produces;
 * ``recover`` — resume a checkpointed Pregel run from the newest snapshot
-  in a checkpoint directory and run it to completion.
+  in a checkpoint directory and run it to completion;
+* ``ingest`` — stream an undirected edge-list file through the chunked
+  external sort into an on-disk CSR store (``--edge-store`` input for
+  ``partition``), with peak memory bounded regardless of the file size.
 
 All user errors (invalid flag combinations, malformed fault plans, bad
 checkpoint directories, any :class:`~repro.errors.ReproError`) exit with
@@ -41,7 +44,14 @@ from repro.experiments import (
 from repro.experiments.common import ExperimentScale
 from repro.faults import FaultPlan
 from repro.graph.datasets import dataset_names, load_dataset
-from repro.graph.io import read_directed_edge_list, write_partitioning
+from repro.graph.io import (
+    DEFAULT_RUN_HALF_EDGES,
+    ingest_edge_list,
+    read_directed_edge_list,
+    write_partitioning,
+    write_partitioning_array,
+)
+from repro.metrics.quality import locality, max_normalized_load
 from repro.metrics.reporting import format_table
 from repro.pregel.checkpoint import load_latest_snapshot, resume_from_checkpoint
 from repro.partitioners.registry import (
@@ -69,6 +79,10 @@ _STREAMING_PARTITIONERS = {
 # checkpoint/fault flags only apply to these.  "spinner" is FastSpinner —
 # vectorized kernels, no Pregel run to snapshot.
 _PREGEL_PARTITIONERS = frozenset({"spinner-pregel", "spinner-pregel-vector"})
+
+# FastSpinner-backed partitioners: the only ones whose kernels honour the
+# storage tier knobs (--storage / --storage-dir / --storage-chunk).
+_FAST_PARTITIONERS = frozenset({"spinner", "spinner-mmap"})
 
 
 def _fail(message: str) -> None:
@@ -189,6 +203,33 @@ def build_parser() -> argparse.ArgumentParser:
         "shared-memory worker processes (spinner-pregel-vector only; "
         "bit-exact with the default serial execution)",
     )
+    partition.add_argument(
+        "--edge-store",
+        default=None,
+        help="partition an on-disk CSR store produced by 'ingest' "
+        "(out-of-core input; mutually exclusive with --dataset/--edge-list)",
+    )
+    partition.add_argument(
+        "--storage",
+        choices=("ram", "mmap"),
+        default=None,
+        help="storage tier for the FastSpinner kernels ('spinner' / "
+        "'spinner-mmap' only): 'mmap' streams the CSR arrays from disk "
+        "chunk-wise, bit-exact with 'ram' at O(chunk + labels) peak memory",
+    )
+    partition.add_argument(
+        "--storage-dir",
+        default=None,
+        help="store/spill directory for --storage mmap (temporary and "
+        "removed after the run when unset)",
+    )
+    partition.add_argument(
+        "--storage-chunk",
+        type=int,
+        default=None,
+        help="half-edges per streamed chunk for --storage mmap "
+        "(any value >= 1 is bit-exact; smaller bounds memory tighter)",
+    )
 
     compare = subparsers.add_parser("compare", help="compare partitioners on one graph")
     _add_graph_arguments(compare)
@@ -231,6 +272,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="shared-memory worker processes for the vector engine "
         "(table4 and fig9 with --engine vector only; rows are "
         "bit-exact with serial execution)",
+    )
+
+    ingest = subparsers.add_parser(
+        "ingest", help="ingest an edge list into an on-disk CSR store"
+    )
+    ingest.add_argument(
+        "--edge-list",
+        required=True,
+        help="path to a 'source target [weight]' edge-list file; each line "
+        "is one undirected edge (self-loops and duplicates kept)",
+    )
+    ingest.add_argument(
+        "--store", required=True, help="output store directory (created if missing)"
+    )
+    ingest.add_argument(
+        "--num-vertices",
+        type=int,
+        default=None,
+        help="declared vertex-id range [0, N); defaults to max id + 1",
+    )
+    ingest.add_argument(
+        "--run-half-edges",
+        type=int,
+        default=DEFAULT_RUN_HALF_EDGES,
+        help="half-edges per sorted run of the external sort "
+        f"(memory ceiling of the ingestion; default {DEFAULT_RUN_HALF_EDGES})",
     )
 
     recover = subparsers.add_parser(
@@ -279,6 +346,27 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         _fail("--fault-plan requires --checkpoint-interval and --checkpoint-dir")
     if (args.checkpoint_interval is None) != (args.checkpoint_dir is None):
         _fail("--checkpoint-interval and --checkpoint-dir must be given together")
+    if args.edge_store is not None and (
+        args.dataset is not None or args.edge_list is not None
+    ):
+        _fail("--edge-store is mutually exclusive with --dataset/--edge-list")
+    storage = args.storage
+    if args.partitioner == "spinner-mmap" and storage is None:
+        storage = "mmap"
+    if storage is not None and args.partitioner not in _FAST_PARTITIONERS:
+        _fail(
+            f"--storage only applies to the FastSpinner partitioners "
+            f"{sorted(_FAST_PARTITIONERS)}, not {args.partitioner!r}"
+        )
+    if storage != "mmap":
+        if args.storage_dir is not None:
+            _fail("--storage-dir requires --storage mmap (or --partitioner spinner-mmap)")
+        if args.storage_chunk is not None:
+            _fail(
+                "--storage-chunk requires --storage mmap (or --partitioner spinner-mmap)"
+            )
+    if args.storage_chunk is not None and args.storage_chunk < 1:
+        _fail(f"--storage-chunk must be >= 1, got {args.storage_chunk}")
     fault_plan = None
     if args.checkpoint_interval is not None:
         if args.partitioner not in _PREGEL_PARTITIONERS:
@@ -295,13 +383,15 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             )
         if args.fault_plan is not None:
             fault_plan = FaultPlan.parse(args.fault_plan, seed=args.seed)
-    graph = _load_graph(args)
     if args.partitioner in SPINNER_PARTITIONERS:
         config = SpinnerConfig(
             seed=args.seed,
             checkpoint_interval=args.checkpoint_interval,
             checkpoint_dir=args.checkpoint_dir,
             fault_plan=fault_plan,
+            storage=storage if storage is not None else "ram",
+            storage_dir=args.storage_dir,
+            storage_chunk=args.storage_chunk,
         )
         kwargs = {"config": config}
         if args.partitioner in _PREGEL_PARTITIONERS:
@@ -314,6 +404,9 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         partitioner = make_partitioner(args.partitioner, **kwargs)
     else:
         partitioner = make_partitioner(args.partitioner)
+    if args.edge_store is not None:
+        return _partition_store(args, partitioner)
+    graph = _load_graph(args)
     output = partitioner.run(graph, args.num_partitions)
     print(
         format_table(
@@ -331,6 +424,70 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     if args.output:
         write_partitioning(output.assignment, args.output)
         print(f"assignment written to {args.output}")
+    return 0
+
+
+def _partition_store(args: argparse.Namespace, partitioner) -> int:
+    """Partition an on-disk CSR store end to end out-of-core.
+
+    The store is opened memory-mapped, the partitioner runs through its
+    array interface, the quality metrics stream the edge arrays chunk by
+    chunk, and the assignment (if requested) is written from the label
+    array — no dictionary graph and no full-length edge copy is ever
+    materialized.
+    """
+    from repro.graph.mmap_store import open_store
+
+    if not os.path.isdir(args.edge_store):
+        _fail(f"edge store {args.edge_store!r} does not exist or is not a directory")
+    with open_store(args.edge_store) as store:
+        labels = partitioner.partition_array(store, args.num_partitions)
+        print(
+            format_table(
+                [
+                    {
+                        "partitioner": partitioner.name,
+                        "k": args.num_partitions,
+                        "phi": locality(store, labels),
+                        "rho": max_normalized_load(store, labels, args.num_partitions),
+                    }
+                ],
+                title="Partitioning quality",
+            )
+        )
+        if args.output:
+            write_partitioning_array(store.original_ids, labels, args.output)
+            print(f"assignment written to {args.output}")
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    if not os.path.isfile(args.edge_list):
+        _fail(f"edge list {args.edge_list!r} does not exist")
+    if args.run_half_edges < 1:
+        _fail(f"--run-half-edges must be >= 1, got {args.run_half_edges}")
+    if args.num_vertices is not None and args.num_vertices < 0:
+        _fail(f"--num-vertices must be >= 0, got {args.num_vertices}")
+    meta = ingest_edge_list(
+        args.edge_list,
+        args.store,
+        num_vertices=args.num_vertices,
+        run_half_edges=args.run_half_edges,
+    )
+    print(
+        format_table(
+            [
+                {
+                    "store": args.store,
+                    "vertices": meta["num_vertices"],
+                    "edges": meta["num_half_edges"] // 2,
+                    "total_weight": meta["total_weight"],
+                    "unit_weights": meta["unit_weights"],
+                }
+            ],
+            title="Ingested CSR store",
+        )
+    )
     return 0
 
 
@@ -425,6 +582,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_experiment(args)
         if args.command == "recover":
             return _cmd_recover(args)
+        if args.command == "ingest":
+            return _cmd_ingest(args)
     except ReproError as exc:
         # Library errors (bad fault specs, unreadable checkpoints, invalid
         # configurations) are user errors at the CLI surface: one line, exit 2.

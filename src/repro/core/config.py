@@ -102,6 +102,27 @@ class SpinnerConfig:
         crashes and message-delivery failures; requires checkpointing,
         because crashes recover from the latest checkpoint.  Excluded
         from equality comparisons (it carries mutable firing counters).
+    storage:
+        Which storage tier :class:`~repro.core.fast.FastSpinner` runs on:
+        ``"ram"`` (default) keeps the CSR arrays in memory, ``"mmap"``
+        runs out-of-core against an on-disk store
+        (:mod:`repro.graph.mmap_store`), streaming the edge arrays in
+        ``storage_chunk``-sized pieces so peak RSS is ``O(chunk +
+        labels)`` instead of ``O(edges)``.  Both tiers produce
+        byte-identical labels for the same seed (all chunked
+        accumulations are sums of exactly-representable integers).
+        Ignored by the Pregel-backed partitioners.
+    storage_dir:
+        Directory holding (or receiving) the on-disk CSR store when
+        ``storage="mmap"``.  If the input graph is not already an
+        opened store, it is spilled here first; when unset, a temporary
+        directory is used and removed after the run.  Requires
+        ``storage="mmap"``.
+    storage_chunk:
+        Half-edges streamed per chunk by the out-of-core kernels
+        (default :data:`repro.graph.mmap_store.DEFAULT_STORAGE_CHUNK`).
+        Any value >= 1 is bit-exact; smaller values trade speed for a
+        lower memory ceiling.
     extra:
         Free-form experiment metadata (not interpreted by the algorithm;
         excluded from equality comparisons).
@@ -123,6 +144,9 @@ class SpinnerConfig:
     checkpoint_interval: int | None = None
     checkpoint_dir: str | None = None
     fault_plan: FaultPlan | None = field(default=None, compare=False)
+    storage: str = "ram"
+    storage_dir: str | None = None
+    storage_chunk: int | None = None
     extra: dict = field(default_factory=dict, compare=False)
 
     def __post_init__(self) -> None:
@@ -160,6 +184,16 @@ class SpinnerConfig:
             raise ConfigurationError(
                 "a fault_plan requires checkpointing "
                 "(set checkpoint_interval and checkpoint_dir)"
+            )
+        if self.storage not in ("ram", "mmap"):
+            raise ConfigurationError(
+                f"storage must be 'ram' or 'mmap', got {self.storage!r}"
+            )
+        if self.storage_dir is not None and self.storage != "mmap":
+            raise ConfigurationError("storage_dir requires storage='mmap'")
+        if self.storage_chunk is not None and self.storage_chunk < 1:
+            raise ConfigurationError(
+                f"storage_chunk must be >= 1, got {self.storage_chunk}"
             )
 
     def with_options(self, **overrides) -> "SpinnerConfig":

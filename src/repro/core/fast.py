@@ -78,6 +78,8 @@ seed.
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 
@@ -99,6 +101,48 @@ from repro.graph.digraph import DiGraph
 from repro.graph.undirected import UndirectedGraph
 
 GraphLike = DiGraph | UndirectedGraph | CSRGraph
+
+
+def _accumulate_histogram(
+    csr: CSRGraph,
+    labels: np.ndarray,
+    num_partitions: int,
+    chunk_half_edges: int,
+    out: np.ndarray,
+) -> np.ndarray:
+    """Accumulate the ``(n, k)`` label-weight histogram chunk by chunk.
+
+    Bit-exact with the single-pass builds (``np.add.at`` scatter or the
+    composite-key ``bincount``) for every chunk size: each histogram cell
+    is a sum of integer edge weights, every partial sum is an exact
+    integer far below ``2**53``, and integer-valued ``float64`` addition
+    (and the cast to an integer ``out`` dtype) is exact — so the
+    accumulation order cannot change the result.  Peak extra memory is
+    one chunk plus one chunk-range histogram slab.
+    """
+    k = num_partitions
+    for v_lo, v_hi, src, tgt, w in csr.iter_edge_chunks(chunk_half_edges):
+        hist = np.bincount(
+            (src - v_lo) * k + labels[tgt],
+            weights=w.astype(np.float64),
+            minlength=(v_hi - v_lo) * k,
+        ).reshape(v_hi - v_lo, k)
+        out[v_lo:v_hi] += hist.astype(out.dtype, copy=False)
+    return out
+
+
+def _chunked_local_weight(
+    csr: CSRGraph, labels: np.ndarray, chunk_half_edges: int
+) -> float:
+    """Sum the weights of intra-partition half-edges, one chunk at a time.
+
+    Every chunk contribution is an exact integer, so the total equals the
+    single-pass masked sum bit-for-bit regardless of chunk size.
+    """
+    total = 0.0
+    for _, _, src, tgt, w in csr.iter_edge_chunks(chunk_half_edges):
+        total += float(w[labels[src] == labels[tgt]].sum())
+    return total
 
 
 @dataclass
@@ -156,8 +200,53 @@ class FastSpinner:
         if num_partitions <= 0:
             raise InvalidPartitionCountError(num_partitions, "must be positive")
         csr = self._to_csr(graph)
+        if self.config.storage == "mmap" and csr.storage != "mmap":
+            return self._partition_spilled(
+                csr, num_partitions, initial_labels, track_history
+            )
         labels = self._resolve_initial_labels(csr, num_partitions, initial_labels)
         return self._run(csr, num_partitions, labels, track_history)
+
+    def _partition_spilled(
+        self,
+        csr: CSRGraph,
+        num_partitions: int,
+        initial_labels: np.ndarray | Mapping[int, int] | None,
+        track_history: bool,
+    ) -> FastSpinnerResult:
+        """Spill an in-RAM graph to an on-disk store and run out-of-core.
+
+        Used when ``config.storage == "mmap"`` but the input is not
+        already an opened store: the CSR arrays are written to
+        ``config.storage_dir`` (a temporary directory when unset, removed
+        afterwards) and the kernels then stream from the mapping.  Graphs
+        that are already :class:`~repro.graph.mmap_store.MmapCSRGraph`
+        skip this and stream directly.
+        """
+        from repro.graph.mmap_store import open_store, save_csr
+
+        directory = self.config.storage_dir
+        cleanup = directory is None
+        if directory is None:
+            directory = tempfile.mkdtemp(prefix="spinner-store-")
+        try:
+            save_csr(csr, directory, self._storage_chunk())
+            with open_store(directory) as store:
+                labels = self._resolve_initial_labels(
+                    store, num_partitions, initial_labels
+                )
+                return self._run(store, num_partitions, labels, track_history)
+        finally:
+            if cleanup:
+                shutil.rmtree(directory, ignore_errors=True)
+
+    def _storage_chunk(self) -> int:
+        """Half-edges per streamed chunk for the out-of-core kernels."""
+        if self.config.storage_chunk is not None:
+            return self.config.storage_chunk
+        from repro.graph.mmap_store import DEFAULT_STORAGE_CHUNK
+
+        return DEFAULT_STORAGE_CHUNK
 
     def adapt_to_graph_changes(
         self,
@@ -260,12 +349,23 @@ class FastSpinner:
         labels: np.ndarray,
         track_history: bool,
     ) -> FastSpinnerResult:
-        """Reference kernel: full ``np.add.at`` histogram rebuild per iteration."""
+        """Reference kernel: full ``np.add.at`` histogram rebuild per iteration.
+
+        On the mmap tier the full-edge expressions are replaced by their
+        chunked twins (:func:`_accumulate_histogram` /
+        :func:`_chunked_local_weight`), which are exact for every chunk
+        size, so the out-of-core run returns bit-identical results.
+        """
         config = self.config
         rng = np.random.default_rng(config.seed)
         n = csr.num_vertices
-        sources, targets, weights = csr.edge_array()
-        weights_f = weights.astype(np.float64)
+        stream = csr.storage == "mmap"
+        if stream:
+            chunk = self._storage_chunk()
+            sources = targets = weights_f = None
+        else:
+            sources, targets, weights = csr.edge_array()
+            weights_f = weights.astype(np.float64)
         degrees = csr.weighted_degrees_f
         safe_degrees = np.where(degrees > 0, degrees, 1.0)
         total_load = float(degrees.sum())
@@ -278,13 +378,24 @@ class FastSpinner:
         # Initialization messages: every vertex announces its label once.
         total_messages = int(csr.indices.shape[0])
 
+        if stream:
+            def local_weight_fn(current_labels: np.ndarray) -> float:
+                return _chunked_local_weight(csr, current_labels, chunk)
+        else:
+            def local_weight_fn(current_labels: np.ndarray) -> float:
+                mask = current_labels[sources] == current_labels[targets]
+                return float(weights_f[mask].sum())
+
         iterations_run = 0
         for iteration in range(config.max_iterations):
             iterations_run = iteration + 1
 
             # --- ComputeScores -----------------------------------------
             label_weight = np.zeros((n, num_partitions), dtype=np.float64)
-            np.add.at(label_weight, (sources, labels[targets]), weights_f)
+            if stream:
+                _accumulate_histogram(csr, labels, num_partitions, chunk, label_weight)
+            else:
+                np.add.at(label_weight, (sources, labels[targets]), weights_f)
 
             loads = np.bincount(
                 labels, weights=degrees, minlength=num_partitions
@@ -341,9 +452,7 @@ class FastSpinner:
             # --- bookkeeping & halting ----------------------------------
             score_value = float(current_scores.sum())
             if track_history:
-                local_weight = float(
-                    weights_f[labels[sources] == labels[targets]].sum()
-                )
+                local_weight = local_weight_fn(labels)
                 phi = local_weight / total_load if total_load else 1.0
                 post_loads = np.bincount(
                     labels, weights=degrees, minlength=num_partitions
@@ -365,8 +474,8 @@ class FastSpinner:
                 break
 
         return self._finalize(
-            csr, num_partitions, labels, sources, targets, weights_f, degrees,
-            total_load, iterations_run, history, halted_by, total_messages,
+            csr, num_partitions, labels, degrees, total_load, iterations_run,
+            history, halted_by, total_messages, local_weight_fn(labels),
         )
 
     def _run_frontier(
@@ -392,19 +501,29 @@ class FastSpinner:
         n = csr.num_vertices
         k = num_partitions
         indptr = csr.indptr
-        sources, targets, weights = csr.edge_array()
-        weights_f = weights.astype(np.float64)
+        half_edges = int(indptr[-1])
+        stream = csr.storage == "mmap"
+        if stream:
+            # Out-of-core: never materialize a full-edge array.  The full
+            # pass streams chunks, the delta path gathers only the
+            # frontier's half-edges from the mapping (and releases the
+            # touched pages), and phi sums chunk-wise — all exact.
+            chunk = self._storage_chunk()
+            sources = targets = weights_f = None
+        else:
+            sources, targets, weights = csr.edge_array()
+            weights_f = weights.astype(np.float64)
+            source_keys = sources * k
         degrees = csr.weighted_degrees_f
         safe_degrees = np.where(degrees > 0, degrees, 1.0)
         total_load = float(degrees.sum())
         capacity = config.capacity(total_load, k) if total_load else 1.0
         vertex_degrees = np.diff(indptr)
-        source_keys = sources * k
 
         tracker = HaltingTracker(threshold=config.halt_threshold, window=config.halt_window)
         history: list[IterationRecord] = []
         halted_by = "max_iterations"
-        total_messages = int(targets.shape[0])
+        total_messages = half_edges
 
         # Histogram entries are bounded by the weighted degree, so they
         # normally fit int32 — half the memory traffic of float64 on the
@@ -412,14 +531,22 @@ class FastSpinner:
         # stays exact (so scores match the dense kernel bit-for-bit).
         max_degree = int(csr.weighted_degrees.max()) if n else 0
         hist_dtype = np.int32 if max_degree < np.iinfo(np.int32).max else np.float64
-        weights_h = weights.astype(hist_dtype)
+        weights_h = None if stream else weights.astype(hist_dtype)
+
+        if stream:
+            def local_weight_fn(current_labels: np.ndarray) -> float:
+                return _chunked_local_weight(csr, current_labels, chunk)
+        else:
+            def local_weight_fn(current_labels: np.ndarray) -> float:
+                mask = current_labels[sources] == current_labels[targets]
+                return float(weights_f[mask].sum())
 
         # Persistent kernel state (see module docstring).
         label_weight: np.ndarray | None = None  # (n, k) histogram
         q = np.empty((n, k), dtype=np.float64)  # divide cache: histogram / degree
         # A delta pays for two composite keys per frontier half-edge; fall
         # back to the single full-pass bincount before that exceeds 2m keys.
-        rebuild_volume = max(targets.shape[0] // 2, 1)
+        rebuild_volume = max(half_edges // 2, 1)
         # (migrant ids, their pre-migration labels) awaiting folding in.
         pending: tuple[np.ndarray, np.ndarray] | None = None
 
@@ -440,48 +567,82 @@ class FastSpinner:
             refresh_full = False
             if label_weight is None:
                 # Full pass: composite-key reduction over all half-edges.
-                label_weight = (
-                    np.bincount(
-                        source_keys + labels[targets],
-                        weights=weights_f,
-                        minlength=n * k,
+                if stream:
+                    label_weight = np.zeros((n, k), dtype=hist_dtype)
+                    _accumulate_histogram(csr, labels, k, chunk, label_weight)
+                else:
+                    label_weight = (
+                        np.bincount(
+                            source_keys + labels[targets],
+                            weights=weights_f,
+                            minlength=n * k,
+                        )
+                        .astype(hist_dtype, copy=False)
+                        .reshape(n, k)
                     )
-                    .astype(hist_dtype, copy=False)
-                    .reshape(n, k)
-                )
                 refresh_full = True
             elif pending is not None:
                 migrants, old_labels = pending
                 frontier = vertex_degrees[migrants]
                 volume = int(frontier.sum())
                 if volume:
-                    offsets = np.cumsum(frontier) - frontier
-                    positions = np.arange(volume, dtype=np.int64) + np.repeat(
-                        indptr[migrants] - offsets, frontier
-                    )
-                    neighbours = targets[positions]
-                    neighbour_keys = neighbours * k
-                    moved_weights = weights_h[positions]
-                    # Scatter-add only the 2 * volume histogram entries
-                    # that actually change: (neighbour, old) loses the
-                    # edge weight, (neighbour, new) gains it.  Unbuffered
-                    # np.add.at is slow per element but the element count
-                    # here is the frontier volume, not m.
-                    np.add.at(
-                        label_weight.reshape(-1),
-                        np.concatenate(
-                            [
-                                neighbour_keys + np.repeat(old_labels, frontier),
-                                neighbour_keys + np.repeat(labels[migrants], frontier),
-                            ]
-                        ),
-                        np.concatenate([-moved_weights, moved_weights]),
-                    )
+                    touched = np.zeros(n, dtype=bool)
+                    if stream:
+                        # Split the migrants so each block's frontier is at
+                        # most ~chunk half-edges: the delta temporaries stay
+                        # O(chunk) instead of O(frontier).  The scatter-adds
+                        # are exact integer sums, so the block order cannot
+                        # change the histogram.
+                        cum = np.cumsum(frontier)
+                        bounds = [0]
+                        while bounds[-1] < migrants.shape[0]:
+                            a = bounds[-1]
+                            base = int(cum[a - 1]) if a else 0
+                            b = int(np.searchsorted(cum, base + chunk, side="right"))
+                            bounds.append(max(b, a + 1))
+                    else:
+                        bounds = [0, migrants.shape[0]]
+                    for a, b in zip(bounds[:-1], bounds[1:]):
+                        block_migrants = migrants[a:b]
+                        block_frontier = frontier[a:b]
+                        offsets = np.cumsum(block_frontier) - block_frontier
+                        positions = np.arange(
+                            int(block_frontier.sum()), dtype=np.int64
+                        ) + np.repeat(indptr[block_migrants] - offsets, block_frontier)
+                        if stream:
+                            # Gather only the block's half-edges off the
+                            # mapping (fancy indexing copies into RAM), then
+                            # drop the pages the gather touched.
+                            neighbours = np.asarray(csr.indices[positions])
+                            moved_weights = np.asarray(csr.weights[positions]).astype(
+                                hist_dtype
+                            )
+                            csr.release_pages()
+                        else:
+                            neighbours = targets[positions]
+                            moved_weights = weights_h[positions]
+                        neighbour_keys = neighbours * k
+                        # Scatter-add only the 2 * volume histogram entries
+                        # that actually change: (neighbour, old) loses the
+                        # edge weight, (neighbour, new) gains it.  Unbuffered
+                        # np.add.at is slow per element but the element count
+                        # here is the frontier volume, not m.
+                        np.add.at(
+                            label_weight.reshape(-1),
+                            np.concatenate(
+                                [
+                                    neighbour_keys
+                                    + np.repeat(old_labels[a:b], block_frontier),
+                                    neighbour_keys
+                                    + np.repeat(labels[block_migrants], block_frontier),
+                                ]
+                            ),
+                            np.concatenate([-moved_weights, moved_weights]),
+                        )
+                        touched[neighbours] = True
                     # Refresh the divide cache for the touched rows only;
                     # if most rows changed, a streaming per-block refresh
                     # is cheaper than the scattered row update.
-                    touched = np.zeros(n, dtype=bool)
-                    touched[neighbours] = True
                     rows = np.flatnonzero(touched)
                     if rows.shape[0] > n // 4:
                         refresh_full = True
@@ -570,9 +731,7 @@ class FastSpinner:
             # --- bookkeeping & halting ----------------------------------
             score_value = float(current_scores.sum())
             if track_history:
-                local_weight = float(
-                    weights_f[labels[sources] == labels[targets]].sum()
-                )
+                local_weight = local_weight_fn(labels)
                 phi = local_weight / total_load if total_load else 1.0
                 post_loads = np.bincount(labels, weights=degrees, minlength=k)
                 ideal = total_load / k
@@ -592,8 +751,8 @@ class FastSpinner:
                 break
 
         return self._finalize(
-            csr, num_partitions, labels, sources, targets, weights_f, degrees,
-            total_load, iterations_run, history, halted_by, total_messages,
+            csr, num_partitions, labels, degrees, total_load, iterations_run,
+            history, halted_by, total_messages, local_weight_fn(labels),
         )
 
     def _finalize(
@@ -601,18 +760,15 @@ class FastSpinner:
         csr: CSRGraph,
         num_partitions: int,
         labels: np.ndarray,
-        sources: np.ndarray,
-        targets: np.ndarray,
-        weights_f: np.ndarray,
         degrees: np.ndarray,
         total_load: float,
         iterations_run: int,
         history: list[IterationRecord],
         halted_by: str,
         total_messages: int,
+        local_weight: float,
     ) -> FastSpinnerResult:
         """Final quality metrics, shared by both kernels."""
-        local_weight = float(weights_f[labels[sources] == labels[targets]].sum())
         phi = local_weight / total_load if total_load else 1.0
         final_loads = np.bincount(labels, weights=degrees, minlength=num_partitions)
         ideal = total_load / num_partitions

@@ -19,7 +19,7 @@ original ids is kept in ``original_ids``.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
 
 import numpy as np
 
@@ -62,17 +62,25 @@ def build_csr_arrays(
 class CSRGraph:
     """Immutable CSR representation of a weighted undirected graph."""
 
+    #: Which storage tier holds ``indices``/``weights``: ``"ram"`` for plain
+    #: in-memory arrays, ``"mmap"`` for the on-disk tier
+    #: (:class:`repro.graph.mmap_store.MmapCSRGraph`).
+    storage = "ram"
+
     def __init__(
         self,
         indptr: np.ndarray,
         indices: np.ndarray,
         weights: np.ndarray,
         original_ids: np.ndarray | None = None,
+        *,
+        weighted_degrees: np.ndarray | None = None,
+        total_weight: int | None = None,
     ) -> None:
         self.indptr = np.asarray(indptr, dtype=np.int64)
         self.indices = np.asarray(indices, dtype=np.int64)
         self.weights = np.asarray(weights, dtype=np.int64)
-        if self.indptr.ndim != 1 or self.indptr[0] != 0:
+        if self.indptr.ndim != 1 or self.indptr.shape[0] == 0 or self.indptr[0] != 0:
             raise GraphError("indptr must be 1-D and start at 0")
         if self.indptr[-1] != self.indices.shape[0]:
             raise GraphError("indptr[-1] must equal len(indices)")
@@ -86,11 +94,19 @@ class CSRGraph:
             raise GraphError("original_ids must have one entry per vertex")
         # Weighted degree per vertex: the balance quantity of the paper.
         # Computed directly in int64 over the indptr segments (no float
-        # round-trip); the kernels use the cached float view below.
-        self.weighted_degrees = _segment_sums(self.weights, self.indptr)
+        # round-trip); the kernels use the cached float view below.  The
+        # out-of-core tier passes precomputed values so that opening a
+        # store never has to stream the full weight array.
+        if weighted_degrees is None:
+            weighted_degrees = _segment_sums(self.weights, self.indptr)
+        self.weighted_degrees = np.asarray(weighted_degrees, dtype=np.int64)
+        if self.weighted_degrees.shape[0] != self.num_vertices:
+            raise GraphError("weighted_degrees must have one entry per vertex")
         self._weighted_degrees_f: np.ndarray | None = None
         # total_weight counts each undirected edge's weight once.
-        self.total_weight = int(self.weights.sum() // 2)
+        if total_weight is None:
+            total_weight = int(self.weights.sum() // 2)
+        self.total_weight = int(total_weight)
 
     # ------------------------------------------------------------------
     @property
@@ -134,6 +150,46 @@ class CSRGraph:
         """
         sources = np.repeat(np.arange(self.num_vertices, dtype=np.int64), np.diff(self.indptr))
         return sources, self.indices, self.weights
+
+    def iter_edge_chunks(
+        self, chunk_half_edges: int
+    ) -> "Iterator[tuple[int, int, np.ndarray, np.ndarray, np.ndarray]]":
+        """Stream the half-edge arrays in contiguous chunks.
+
+        Yields ``(v_lo, v_hi, sources, targets, weights)`` where the chunk
+        covers half-edges ``[e0, e1)`` whose source vertices all lie in
+        ``[v_lo, v_hi)``; a vertex whose adjacency spans a chunk boundary
+        appears in both chunks with the corresponding slice of its
+        neighbours.  Because every accumulation the kernels perform over
+        these chunks is a sum of exactly-representable integers, results
+        are bit-identical for every chunk size — the property the
+        out-of-core tier's equivalence suite pins.
+
+        The base implementation yields array views (no copies); the mmap
+        tier overrides it to copy each chunk off the mapping and drop the
+        consumed pages so peak RSS stays ``O(chunk)``.
+        """
+        if chunk_half_edges < 1:
+            raise GraphError(f"chunk_half_edges must be >= 1, got {chunk_half_edges}")
+        total = int(self.indptr[-1])
+        indptr = self.indptr
+        for e0 in range(0, total, chunk_half_edges):
+            e1 = min(e0 + chunk_half_edges, total)
+            v_lo = int(np.searchsorted(indptr, e0, side="right")) - 1
+            v_hi = int(np.searchsorted(indptr, e1 - 1, side="right"))
+            bounds = np.clip(indptr[v_lo : v_hi + 1], e0, e1)
+            sources = np.repeat(
+                np.arange(v_lo, v_hi, dtype=np.int64), np.diff(bounds)
+            )
+            yield v_lo, v_hi, sources, self.indices[e0:e1], self.weights[e0:e1]
+
+    def release_pages(self) -> None:
+        """Drop any file-backed pages this graph holds resident (no-op here).
+
+        The mmap tier overrides this to ``madvise(MADV_DONTNEED)`` its
+        mappings after a streaming pass; for the RAM tier there is nothing
+        to release.
+        """
 
     # ------------------------------------------------------------------
     @classmethod

@@ -4,6 +4,13 @@ All functions accept either an :class:`~repro.graph.undirected.UndirectedGraph`
 with a ``{vertex: label}`` mapping, or a :class:`~repro.graph.csr.CSRGraph`
 with a NumPy label array (dense vertex ids).  Labels must lie in
 ``[0, num_partitions)``.
+
+On the out-of-core tier (``graph.storage == "mmap"``) the edge-touching
+metrics stream the half-edge arrays chunk by chunk instead of calling
+``edge_array()``, keeping peak RSS at ``O(chunk + labels)``.  The values
+are bit-identical to the single-pass expressions: every accumulated
+quantity is a sum of integer edge weights (exact in ``float64``), so the
+accumulation order cannot change the result.
 """
 
 from __future__ import annotations
@@ -21,6 +28,13 @@ from repro.graph.undirected import UndirectedGraph
 def _check_k(num_partitions: int) -> None:
     if num_partitions <= 0:
         raise InvalidPartitionCountError(num_partitions, "must be positive")
+
+
+def _metric_chunk() -> int:
+    """Half-edges per streamed chunk for the mmap-tier metric passes."""
+    from repro.graph.mmap_store import DEFAULT_STORAGE_CHUNK
+
+    return DEFAULT_STORAGE_CHUNK
 
 
 def _labels_array(graph: CSRGraph, labels: np.ndarray) -> np.ndarray:
@@ -48,6 +62,14 @@ def locality(
     """
     if isinstance(graph, CSRGraph):
         labels = _labels_array(graph, assignment)  # type: ignore[arg-type]
+        if graph.storage == "mmap":
+            total = 2 * graph.total_weight
+            if total == 0:
+                return 1.0
+            local = 0.0
+            for _, _, src, tgt, w in graph.iter_edge_chunks(_metric_chunk()):
+                local += float(w[labels[src] == labels[tgt]].sum())
+            return float(local / total)
         sources, targets, weights = graph.edge_array()
         if weights.sum() == 0:
             return 1.0
@@ -71,6 +93,11 @@ def cut_edges(
     """Number of undirected edges whose endpoints lie in different partitions."""
     if isinstance(graph, CSRGraph):
         labels = _labels_array(graph, assignment)  # type: ignore[arg-type]
+        if graph.storage == "mmap":
+            crossing_halves = 0
+            for _, _, src, tgt, _w in graph.iter_edge_chunks(_metric_chunk()):
+                crossing_halves += int((labels[src] != labels[tgt]).sum())
+            return crossing_halves // 2
         sources, targets, _weights = graph.edge_array()
         crossing = labels[sources] != labels[targets]
         # Each undirected edge appears twice in the edge array.
@@ -152,12 +179,17 @@ def global_score(
 
     if isinstance(graph, CSRGraph):
         labels = _labels_array(graph, assignment)  # type: ignore[arg-type]
-        sources, targets, weights = graph.edge_array()
         degrees = graph.weighted_degrees.astype(np.float64)
         safe_degrees = np.where(degrees > 0, degrees, 1.0)
         local_weight = np.zeros(graph.num_vertices, dtype=np.float64)
-        same = labels[sources] == labels[targets]
-        np.add.at(local_weight, sources[same], weights[same].astype(np.float64))
+        if graph.storage == "mmap":
+            for _, _, src, tgt, w in graph.iter_edge_chunks(_metric_chunk()):
+                same = labels[src] == labels[tgt]
+                np.add.at(local_weight, src[same], w[same].astype(np.float64))
+        else:
+            sources, targets, weights = graph.edge_array()
+            same = labels[sources] == labels[targets]
+            np.add.at(local_weight, sources[same], weights[same].astype(np.float64))
         per_vertex = local_weight / safe_degrees - penalties[labels]
         return float(per_vertex.sum())
 

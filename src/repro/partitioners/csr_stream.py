@@ -59,23 +59,6 @@ def canonical_undirected(csr: CSRGraph) -> UndirectedGraph:
     return graph
 
 
-def sorted_neighbor_indices(csr: CSRGraph) -> np.ndarray:
-    """Return a copy of ``csr.indices`` with each vertex's neighbours ascending.
-
-    ``CSRGraph`` keeps neighbours in edge-list order; traversals that must
-    match a dictionary path iterating ``sorted(graph.neighbors(v))`` (the
-    canonical BFS stream order) need them sorted.  One global stable sort
-    on the composite ``(source, target)`` key sorts every adjacency slice
-    at once.
-    """
-    n = csr.num_vertices
-    if csr.indices.shape[0] == 0:
-        return csr.indices.copy()
-    sources, targets, _weights = csr.edge_array()
-    order = np.argsort(sources * np.int64(n) + targets, kind="stable")
-    return targets[order]
-
-
 def bfs_stream(csr: CSRGraph, shuffled_roots: list[int]) -> np.ndarray:
     """Level-synchronous BFS order over all components (dense ids).
 
@@ -84,10 +67,16 @@ def bfs_stream(csr: CSRGraph, shuffled_roots: list[int]) -> np.ndarray:
     and a vertex is marked visited when first *enqueued*.  Within a BFS
     level the first occurrence of each vertex wins, which is precisely the
     FIFO enqueue order of the reference implementation.
+
+    Each level's adjacency is gathered raw and then sorted per row with
+    one ``lexsort`` on ``(neighbour, row)`` — reproducing the ascending
+    per-vertex expansion the reference's ``sorted(graph.neighbors(v))``
+    performs, without ever materializing a globally sorted copy of
+    ``indices`` (which would be ``O(m)`` RAM and defeat the mmap tier).
     """
     n = csr.num_vertices
     indptr = csr.indptr
-    nbrs = sorted_neighbor_indices(csr)
+    indices = csr.indices
     visited = np.zeros(n, dtype=bool)
     order = np.empty(n, dtype=np.int64)
     filled = 0
@@ -99,9 +88,12 @@ def bfs_stream(csr: CSRGraph, shuffled_roots: list[int]) -> np.ndarray:
         while level.size:
             order[filled : filled + level.size] = level
             filled += level.size
-            _, candidates, _ = gather_chunk(indptr, nbrs, None, level)
+            rows, candidates, _ = gather_chunk(indptr, indices, None, level)
+            csr.release_pages()
             if candidates.size == 0:
                 break
+            sort = np.lexsort((candidates, rows))
+            candidates = candidates[sort]
             candidates = candidates[~visited[candidates]]
             if candidates.size == 0:
                 break
@@ -145,7 +137,14 @@ def gather_chunk(
     position within ``chunk_vertices`` whose adjacency produced entry
     ``i``.  Rows are emitted in chunk order, so downstream groupings can
     rely on ``rows`` being non-decreasing.  ``weights_f`` may be ``None``
-    for weight-free traversals (the returned weights are then ``None``).
+    for weight-free traversals (the returned weights are then ``None``);
+    an integer weight array is converted to ``float64`` *after* the
+    gather — elementwise, so the values are identical to gathering from a
+    pre-converted array, but only one chunk's worth of floats ever
+    exists.  ``indices``/``weights_f`` may be memory-mapped: the fancy
+    gathers copy just the chunk into RAM, which (with the caller
+    releasing pages between chunks) is what keeps the streaming baselines
+    at ``O(chunk + labels)`` peak RSS on the mmap tier.
     """
     counts = indptr[chunk_vertices + 1] - indptr[chunk_vertices]
     total = int(counts.sum())
@@ -159,7 +158,12 @@ def gather_chunk(
         - np.repeat(offsets, counts)
         + np.repeat(indptr[chunk_vertices], counts)
     )
-    return rows, indices[flat], None if weights_f is None else weights_f[flat]
+    gathered_w = None
+    if weights_f is not None:
+        gathered_w = np.asarray(weights_f[flat])
+        if gathered_w.dtype != np.float64:
+            gathered_w = gathered_w.astype(np.float64)
+    return rows, np.asarray(indices[flat]), gathered_w
 
 
 def merge_intra_chunk_patches(

@@ -122,7 +122,9 @@ class FennelPartitioner(Partitioner):
         if n == 0:
             return np.empty(0, dtype=np.int64)
         indptr, indices = graph.indptr, graph.indices
-        weights_f = graph.weights.astype(np.float64)
+        # Raw (possibly memory-mapped) weights: gather_chunk converts each
+        # gathered slice to float64, so no full-length float copy exists.
+        weights_f = graph.weights
         m = max(graph.num_edges, 1)
         alpha = np.sqrt(k) * m / (n ** 1.5)
         capacity = self.load_factor * n / k
@@ -150,6 +152,7 @@ class FennelPartitioner(Partitioner):
         for start in range(0, n, chunk):
             chunk_vertices = order[start : start + chunk]
             rows, neighbors, wts = gather_chunk(indptr, indices, weights_f, chunk_vertices)
+            graph.release_pages()
             gathered = labels[neighbors]
             assigned = gathered < k
             row_starts, cand_labels, cand_sums = rowwise_label_counts(

@@ -155,7 +155,9 @@ class LinearDeterministicGreedy(Partitioner):
         if n == 0:
             return np.empty(0, dtype=np.int64)
         indptr, indices = graph.indptr, graph.indices
-        weights_f = graph.weights.astype(np.float64)
+        # Raw (possibly memory-mapped) weights: gather_chunk converts each
+        # gathered slice to float64, so no full-length float copy exists.
+        weights_f = graph.weights
         capacity = self.capacity_slack * n / k
         order = stream_order(graph, self.stream_order, self.seed)
 
@@ -169,6 +171,7 @@ class LinearDeterministicGreedy(Partitioner):
         for start in range(0, n, chunk):
             chunk_vertices = order[start : start + chunk]
             rows, neighbors, wts = gather_chunk(indptr, indices, weights_f, chunk_vertices)
+            graph.release_pages()
             gathered = labels[neighbors]
             assigned = gathered < k
             row_starts, cand_labels, cand_sums = rowwise_label_counts(

@@ -19,6 +19,13 @@ used in the paper's tables:
 ``spinner``
     FastSpinner (vectorized kernels; ``SpinnerConfig.kernel`` selects
     ``"frontier"`` or ``"dense"``).
+``spinner-mmap``
+    FastSpinner pinned to the out-of-core storage tier
+    (``SpinnerConfig.storage="mmap"``): the CSR arrays live in on-disk
+    shard files and the kernels stream them chunk-wise, so peak RSS is
+    ``O(chunk + labels)`` instead of ``O(edges)`` — bit-exact with
+    ``spinner``.  Accepts ``storage_dir=`` (store/spill directory) and
+    ``storage_chunk=`` (half-edges per streamed chunk).
 ``spinner-pregel``
     Spinner as a Pregel computation; the runtime follows
     ``SpinnerConfig.engine`` (``"dict"`` by default) or an explicit
@@ -57,6 +64,12 @@ def _spinner_pregel_vector(**kwargs) -> SpinnerPregelAdapter:
     return SpinnerPregelAdapter(engine="vector", **kwargs)
 
 
+def _spinner_mmap(**kwargs) -> SpinnerFastAdapter:
+    """FastSpinner pinned to the out-of-core mmap storage tier."""
+    kwargs.setdefault("storage", "mmap")
+    return SpinnerFastAdapter(**kwargs)
+
+
 _FACTORIES: dict[str, Callable[..., Partitioner]] = {
     "hash": HashPartitioner,
     "modulo": ModuloPartitioner,
@@ -66,12 +79,15 @@ _FACTORIES: dict[str, Callable[..., Partitioner]] = {
     "metis": MetisLikePartitioner,
     "wang": WangPartitioner,
     "spinner": SpinnerFastAdapter,
+    "spinner-mmap": _spinner_mmap,
     "spinner-pregel": SpinnerPregelAdapter,
     "spinner-pregel-vector": _spinner_pregel_vector,
 }
 
 #: Registry names that accept a ``config=SpinnerConfig(...)`` keyword.
-SPINNER_PARTITIONERS = frozenset({"spinner", "spinner-pregel", "spinner-pregel-vector"})
+SPINNER_PARTITIONERS = frozenset(
+    {"spinner", "spinner-mmap", "spinner-pregel", "spinner-pregel-vector"}
+)
 
 
 def available_partitioners() -> list[str]:

@@ -24,12 +24,34 @@ class SpinnerFastAdapter(Partitioner):
     Accepts CSR input directly so array-based callers skip the
     dictionary-based graph conversion entirely; the kernel choice
     (frontier vs. dense reference) follows ``config.kernel``.
+
+    ``storage``, ``storage_dir`` and ``storage_chunk`` override the
+    matching :class:`~repro.core.config.SpinnerConfig` fields (mirroring
+    how :class:`SpinnerPregelAdapter` overrides ``engine``):
+    ``storage="mmap"`` runs the kernels out-of-core against an on-disk
+    CSR store, bit-exact with the in-RAM tier.
     """
 
     name = "spinner"
 
-    def __init__(self, config: SpinnerConfig | None = None) -> None:
-        self.config = config if config is not None else SpinnerConfig()
+    def __init__(
+        self,
+        config: SpinnerConfig | None = None,
+        storage: str | None = None,
+        storage_dir: str | None = None,
+        storage_chunk: int | None = None,
+    ) -> None:
+        config = config if config is not None else SpinnerConfig()
+        overrides: dict[str, object] = {}
+        if storage is not None:
+            overrides["storage"] = storage
+        if storage_dir is not None:
+            overrides["storage_dir"] = storage_dir
+        if storage_chunk is not None:
+            overrides["storage_chunk"] = storage_chunk
+        if overrides:
+            config = config.with_options(**overrides)
+        self.config = config
 
     def partition(
         self, graph: UndirectedGraph | DiGraph | CSRGraph, num_partitions: int

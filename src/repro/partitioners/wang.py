@@ -194,6 +194,12 @@ class WangPartitioner(Partitioner):
         the CSR kernel treats such entries as absent: a graph containing
         either is rebuilt without them before partitioning, which keeps
         the result consistent with the equivalent clean graph.
+
+        Accepts graphs on either storage tier (the mmap tier's arrays are
+        byte-identical, so the assignments are too), but unlike LDG and
+        Fennel this kernel materializes the edge arrays internally — the
+        LPA sweeps consult arbitrary adjacency lists every round, so it
+        does not run at ``O(chunk)`` memory on the mmap tier.
         """
         n = graph.num_vertices
         if n == 0:
