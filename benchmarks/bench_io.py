@@ -1,0 +1,61 @@
+"""Shared I/O helpers for the ``BENCH_*.json`` benchmark artifacts.
+
+Every ``benchmarks/test_*_speed.py`` module records its numbers in a
+``BENCH_<name>.json`` file at the repo root so the performance trajectory
+is tracked from PR to PR.  The conventions live here once instead of
+being copy-pasted into every benchmark:
+
+* :func:`bench_path` — artifact location (repo root, next to README);
+* :func:`env_int` / :func:`env_float` — environment-variable relaxation
+  knobs: shared CI runners have noisy wall clocks and may loosen a
+  speedup floor or shrink a workload (see ``.github/workflows/ci.yml``)
+  without touching the dedicated-machine contract baked into the code;
+* :func:`host_metadata` — the host facts that make a recorded number
+  interpretable later (CPU count, platform, Python version);
+* :func:`write_bench` — atomic JSON write (temp file + fsync + rename,
+  via :func:`repro.graph.io.atomic_write_text`) that injects the host
+  metadata under the ``"host"`` key when the payload has none.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from pathlib import Path
+
+from repro.graph.io import atomic_write_text
+
+#: Repository root — BENCH_*.json artifacts live here.
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def bench_path(filename: str) -> Path:
+    """Absolute path of a ``BENCH_*.json`` artifact at the repo root."""
+    return REPO_ROOT / filename
+
+
+def env_int(name: str, default: int) -> int:
+    """Integer knob from the environment (workload sizes, repeats)."""
+    return int(os.environ.get(name, str(default)))
+
+
+def env_float(name: str, default: float) -> float:
+    """Float knob from the environment (speedup floors, budgets)."""
+    return float(os.environ.get(name, str(default)))
+
+
+def host_metadata() -> dict:
+    """Host facts recorded alongside every benchmark payload."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+
+
+def write_bench(path: Path | str, payload: dict) -> None:
+    """Atomically write ``payload`` (plus host metadata) as indented JSON."""
+    enriched = dict(payload)
+    enriched.setdefault("host", host_metadata())
+    atomic_write_text(Path(path), json.dumps(enriched, indent=2) + "\n")

@@ -28,22 +28,20 @@ Run directly with::
 from __future__ import annotations
 
 import json
-import os
 import time
-from pathlib import Path
 
 import numpy as np
 
 from repro.graph.csr import CSRGraph
-from repro.graph.io import atomic_write_text
+from bench_io import bench_path, env_float, env_int, write_bench
 from repro.graph.undirected import UndirectedGraph
 from repro.partitioners.fennel import FennelPartitioner
 from repro.partitioners.ldg import LinearDeterministicGreedy
 from repro.partitioners.wang import WangPartitioner
 
-BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_baselines.json"
+BENCH_PATH = bench_path("BENCH_baselines.json")
 
-NUM_VERTICES = int(os.environ.get("BASELINE_BENCH_NUM_VERTICES", "100000"))
+NUM_VERTICES = env_int("BASELINE_BENCH_NUM_VERTICES", 100000)
 COMMUNITY_SIZE = 200
 INTRA_DEGREE = 12
 INTER_DEGREE = 2
@@ -55,11 +53,11 @@ WANG_SWEEPS = 8
 # Shared CI runners have noisy wall clocks; they may relax the floor via
 # the environment (see .github/workflows/ci.yml) without touching the
 # dedicated-machine contract of 5x.
-MIN_SPEEDUP = float(os.environ.get("BASELINE_BENCH_MIN_SPEEDUP", "5.0"))
+MIN_SPEEDUP = env_float("BASELINE_BENCH_MIN_SPEEDUP", 5.0)
 # Wall clocks on loaded machines fluctuate; report the best of N runs per
 # implementation (the partitioners are deterministic, so every run yields
 # the same assignment).
-REPEATS = int(os.environ.get("BASELINE_BENCH_REPEATS", "2"))
+REPEATS = env_int("BASELINE_BENCH_REPEATS", 2)
 
 
 def _planted_partition_edges(num_vertices: int, seed: int) -> np.ndarray:
@@ -149,7 +147,7 @@ def test_baseline_csr_kernels_speedup_and_equality():
         "results": rows,
         "min_speedup_asserted": MIN_SPEEDUP,
     }
-    atomic_write_text(BENCH_PATH, json.dumps(payload, indent=2) + "\n")
+    write_bench(BENCH_PATH, payload)
     print()
     print(json.dumps(payload, indent=2))
     for row in rows:

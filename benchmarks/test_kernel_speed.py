@@ -27,19 +27,16 @@ Run directly with::
 
 from __future__ import annotations
 
-import json
-import os
 import time
-from pathlib import Path
 
 import numpy as np
 
 from repro.core.config import SpinnerConfig
 from repro.core.fast import FastSpinner
 from repro.graph.csr import CSRGraph
-from repro.graph.io import atomic_write_text
+from bench_io import bench_path, env_float, write_bench
 
-BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_kernel.json"
+BENCH_PATH = bench_path("BENCH_kernel.json")
 
 NUM_VERTICES = 100_000
 HALF_DEGREE = 10  # 10 ring neighbours per side -> 1M undirected edges
@@ -51,7 +48,7 @@ CHURN_FRACTION = 0.02
 # Shared CI runners have noisy wall clocks; they may relax the floor via
 # the environment (see .github/workflows/ci.yml) without touching the
 # dedicated-machine contract of 5x.
-MIN_SPEEDUP = float(os.environ.get("KERNEL_BENCH_MIN_SPEEDUP", "5.0"))
+MIN_SPEEDUP = env_float("KERNEL_BENCH_MIN_SPEEDUP", 5.0)
 
 
 def _watts_strogatz_csr(num_vertices: int, seed: int) -> CSRGraph:
@@ -139,7 +136,7 @@ def test_frontier_kernel_speedup_on_100k_1m_graph():
         "cold_start": cold,
         "incremental_2pct_churn": incremental,
     }
-    atomic_write_text(BENCH_PATH, json.dumps(payload, indent=2) + "\n")
+    write_bench(BENCH_PATH, payload)
     print(
         "\nkernel speedup: cold "
         f"{cold['dense_seconds']:.2f}s -> {cold['frontier_seconds']:.2f}s "

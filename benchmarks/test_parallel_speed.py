@@ -32,21 +32,19 @@ cleanly in the worker processes.)
 
 from __future__ import annotations
 
-import json
 import os
 import time
-from pathlib import Path
 
 import numpy as np
 
 from repro.apps.pagerank import BatchPageRank
 from repro.graph.csr import CSRGraph
-from repro.graph.io import atomic_write_text
+from bench_io import bench_path, env_float, env_int, write_bench
 from repro.pregel.vector_engine import VectorPregelEngine
 
-BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_parallel.json"
+BENCH_PATH = bench_path("BENCH_parallel.json")
 
-NUM_VERTICES = int(os.environ.get("PARALLEL_BENCH_NUM_VERTICES", "100000"))
+NUM_VERTICES = env_int("PARALLEL_BENCH_NUM_VERTICES", 100000)
 HALF_DEGREE = 10  # 10 ring neighbours per side -> ~1M undirected edges
 REWIRE_BETA = 0.2
 NUM_WORKERS = 8
@@ -56,7 +54,7 @@ PAGERANK_ITERATIONS = 5
 #: With fewer cores than shard groups a wall-clock speedup is physically
 #: impossible; only guard against pathological overhead there.
 _DEFAULT_FLOOR = 2.5 if (os.cpu_count() or 1) >= 4 else 0.05
-MIN_SPEEDUP = float(os.environ.get("PARALLEL_BENCH_MIN_SPEEDUP", _DEFAULT_FLOOR))
+MIN_SPEEDUP = env_float("PARALLEL_BENCH_MIN_SPEEDUP", _DEFAULT_FLOOR)
 
 
 def _watts_strogatz_csr(num_vertices: int, seed: int) -> CSRGraph:
@@ -126,7 +124,7 @@ def test_parallel_executor_speedup_on_100k_1m_pagerank():
         "total_messages": serial_result.stats.total_messages,
         "values_byte_identical": True,
     }
-    atomic_write_text(BENCH_PATH, json.dumps(payload, indent=2) + "\n")
+    write_bench(BENCH_PATH, payload)
     print(
         f"\nparallel speedup: serial {serial_seconds:.2f}s -> "
         f"parallel={PARALLEL} {parallel_seconds:.2f}s ({speedup:.2f}x, "

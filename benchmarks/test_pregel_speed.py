@@ -19,27 +19,24 @@ Run directly with::
 
 from __future__ import annotations
 
-import json
-import os
 import time
-from pathlib import Path
 
 import numpy as np
 
 from repro.apps.pagerank import BatchPageRank, PageRank
 from repro.graph.csr import CSRGraph
-from repro.graph.io import atomic_write_text
+from bench_io import bench_path, env_float, env_int, write_bench
 from repro.pregel.engine import PregelEngine
 from repro.pregel.vector_engine import VectorPregelEngine
 
-BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_pregel.json"
+BENCH_PATH = bench_path("BENCH_pregel.json")
 
-NUM_VERTICES = int(os.environ.get("PREGEL_BENCH_NUM_VERTICES", "100000"))
+NUM_VERTICES = env_int("PREGEL_BENCH_NUM_VERTICES", 100000)
 HALF_DEGREE = 10  # 10 ring neighbours per side -> ~1M undirected edges
 REWIRE_BETA = 0.2
 NUM_WORKERS = 8
 PAGERANK_ITERATIONS = 5
-MIN_SPEEDUP = float(os.environ.get("PREGEL_BENCH_MIN_SPEEDUP", "5.0"))
+MIN_SPEEDUP = env_float("PREGEL_BENCH_MIN_SPEEDUP", 5.0)
 
 
 def _watts_strogatz_csr(num_vertices: int, seed: int) -> CSRGraph:
@@ -117,7 +114,7 @@ def test_vector_engine_speedup_on_100k_1m_pagerank():
         "total_messages": dict_result.stats.total_messages,
         "values_byte_identical": True,
     }
-    atomic_write_text(BENCH_PATH, json.dumps(payload, indent=2) + "\n")
+    write_bench(BENCH_PATH, payload)
     print(
         f"\npregel speedup: dict {dict_seconds:.2f}s -> "
         f"vector {vector_seconds:.2f}s ({speedup:.1f}x) -> {BENCH_PATH.name}"

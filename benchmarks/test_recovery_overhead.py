@@ -24,24 +24,21 @@ Run directly with::
 
 from __future__ import annotations
 
-import json
-import os
 import time
-from pathlib import Path
 
 import numpy as np
 
 from repro.apps.pagerank import BatchPageRank, PageRank
 from repro.faults import FaultPlan, WorkerCrash
 from repro.graph.csr import CSRGraph
-from repro.graph.io import atomic_write_text
+from bench_io import bench_path, env_float, env_int, write_bench
 from repro.pregel.engine import PregelEngine
 from repro.pregel.vector_engine import VectorPregelEngine
 
-BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_recovery.json"
+BENCH_PATH = bench_path("BENCH_recovery.json")
 
-NUM_VERTICES = int(os.environ.get("RECOVERY_BENCH_NUM_VERTICES", "100000"))
-DICT_NUM_VERTICES = int(os.environ.get("RECOVERY_BENCH_DICT_NUM_VERTICES", "10000"))
+NUM_VERTICES = env_int("RECOVERY_BENCH_NUM_VERTICES", 100000)
+DICT_NUM_VERTICES = env_int("RECOVERY_BENCH_DICT_NUM_VERTICES", 10000)
 HALF_DEGREE = 10  # 10 ring neighbours per side -> ~1M undirected edges
 REWIRE_BETA = 0.2
 NUM_WORKERS = 8
@@ -50,7 +47,7 @@ NUM_WORKERS = 8
 # figure is quoted for.
 PAGERANK_ITERATIONS = 28
 CHECKPOINT_INTERVAL = 5
-MAX_OVERHEAD = float(os.environ.get("RECOVERY_BENCH_MAX_OVERHEAD", "0.10"))
+MAX_OVERHEAD = env_float("RECOVERY_BENCH_MAX_OVERHEAD", 0.10)
 REPEATS = 3
 
 
@@ -172,7 +169,7 @@ def test_checkpoint_overhead_and_recovery_equality(tmp_path):
         },
         "max_overhead": MAX_OVERHEAD,
     }
-    atomic_write_text(BENCH_PATH, json.dumps(payload, indent=2) + "\n")
+    write_bench(BENCH_PATH, payload)
     print(
         f"\nrecovery overhead: clean {clean_seconds:.2f}s -> checkpointed "
         f"{ckpt_seconds:.2f}s ({overhead:+.1%}), recovered run "

@@ -33,18 +33,18 @@ from pathlib import Path
 
 import pytest
 
-from repro.graph.io import atomic_write_text
+from bench_io import bench_path, env_float, env_int, write_bench
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
-BENCH_PATH = REPO_ROOT / "BENCH_scale.json"
+BENCH_PATH = bench_path("BENCH_scale.json")
 
-NUM_EDGES = int(os.environ.get("SCALE_BENCH_NUM_EDGES", "100000000"))
-NUM_PARTITIONS = int(os.environ.get("SCALE_BENCH_NUM_PARTITIONS", "8"))
-MAX_ITERATIONS = int(os.environ.get("SCALE_BENCH_MAX_ITERATIONS", "10"))
-SEED = int(os.environ.get("SCALE_BENCH_SEED", "42"))
+NUM_EDGES = env_int("SCALE_BENCH_NUM_EDGES", 100000000)
+NUM_PARTITIONS = env_int("SCALE_BENCH_NUM_PARTITIONS", 8)
+MAX_ITERATIONS = env_int("SCALE_BENCH_MAX_ITERATIONS", 10)
+SEED = env_int("SCALE_BENCH_SEED", 42)
 #: Peak-RSS ceiling for the subprocess, in MiB (the ISSUE's "configurable
 #: memory budget, default <= 2 GB").
-MEMORY_BUDGET_MB = float(os.environ.get("SCALE_BENCH_MEMORY_BUDGET_MB", "2048"))
+MEMORY_BUDGET_MB = env_float("SCALE_BENCH_MEMORY_BUDGET_MB", 2048)
 
 # Scratch requirement: the final store holds 16 bytes per half-edge
 # (indices + hidden page-cache copies aside, weights are unit and
@@ -100,7 +100,7 @@ def test_out_of_core_scale_under_memory_budget():
         "memory_budget_mb": MEMORY_BUDGET_MB,
         "results": stats,
     }
-    atomic_write_text(BENCH_PATH, json.dumps(payload, indent=2) + "\n")
+    write_bench(BENCH_PATH, payload)
     print()
     print(json.dumps(payload, indent=2))
 

@@ -1,0 +1,243 @@
+"""Serving-layer benchmark: lookup QPS, churn quality, swap latency.
+
+Exercises the online sharding service (:mod:`repro.serving`) the way a
+graph management system would — and records the numbers in
+``BENCH_serving.json`` at the repo root so the serving performance
+trajectory is tracked from PR to PR:
+
+* **lookup throughput** — batched vertex→partition lookups over the real
+  TCP JSON-lines protocol against a live service; the sustained
+  lookups/sec floor is asserted (``SERVING_BENCH_MIN_QPS`` relaxes it on
+  shared runners).
+* **snapshot-swap latency** — the atomic version swap is the only
+  publish-side work lookups can ever observe; its worst case across all
+  repartitions of the run is asserted under
+  ``SERVING_BENCH_MAX_SWAP_SECONDS``.
+* **steady-state quality under churn** — sustained adversarial churn
+  (each generator of :mod:`repro.graph.dynamic` in rotation) with a
+  background-style repartition after each burst must keep the published
+  locality ``phi`` within ``SERVING_BENCH_PHI_MARGIN`` of a full
+  from-scratch FastSpinner recompute on the final graph — the paper's
+  Section V-C claim, measured end to end through the serving path.
+* **stability sweep** — one row per churn generator comparing the
+  incremental repartition against the pre-churn assignment
+  (:func:`repro.metrics.stability.partitioning_difference`), recording
+  how much of the graph each adversarial shape actually moves.
+
+Run directly with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_serving_speed.py -s
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import numpy as np
+
+from repro.core.config import SpinnerConfig
+from repro.core.fast import FastSpinner
+from repro.graph.generators import powerlaw_cluster
+from repro.graph.dynamic import bursty_new_edges, hub_birth_edges, random_new_edges
+from repro.metrics.stability import partitioning_difference
+from repro.serving import (
+    AssignmentStore,
+    ChurnPipeline,
+    ServingConfig,
+    ShardingService,
+    send_requests,
+)
+from bench_io import bench_path, env_float, env_int, write_bench
+
+BENCH_PATH = bench_path("BENCH_serving.json")
+
+NUM_VERTICES = env_int("SERVING_BENCH_NUM_VERTICES", 20000)
+NUM_PARTITIONS = env_int("SERVING_BENCH_NUM_PARTITIONS", 8)
+SEED = env_int("SERVING_BENCH_SEED", 42)
+BATCH = env_int("SERVING_BENCH_BATCH", 1024)
+#: Minimum sustained batched-lookup throughput over TCP (lookups/sec).
+MIN_QPS = env_float("SERVING_BENCH_MIN_QPS", 20000.0)
+#: Worst-case tolerated snapshot-swap latency (seconds).
+MAX_SWAP_SECONDS = env_float("SERVING_BENCH_MAX_SWAP_SECONDS", 0.5)
+#: Steady-state phi must stay within this margin of a full recompute.
+PHI_MARGIN = env_float("SERVING_BENCH_PHI_MARGIN", 0.05)
+CHURN_ROUNDS = env_int("SERVING_BENCH_CHURN_ROUNDS", 6)
+CHURN_FRACTION = env_float("SERVING_BENCH_CHURN_FRACTION", 0.02)
+#: Wall-clock the QPS phase keeps hammering the service for.
+QPS_SECONDS = env_float("SERVING_BENCH_QPS_SECONDS", 1.0)
+
+CHURN_GENERATORS = (
+    ("random", random_new_edges),
+    ("bursty", bursty_new_edges),
+    ("hub_birth", hub_birth_edges),
+)
+
+
+def _start_service(service: ShardingService) -> tuple[threading.Thread, int]:
+    """Run ``serve_forever`` on a daemon thread; return (thread, port)."""
+    ready = threading.Event()
+    bound = {}
+
+    def _on_ready(started: ShardingService) -> None:
+        bound["port"] = started.port
+        ready.set()
+
+    thread = threading.Thread(
+        target=lambda: asyncio.run(service.serve_forever(ready=_on_ready)),
+        daemon=True,
+    )
+    thread.start()
+    assert ready.wait(timeout=60), "service did not come up"
+    return thread, bound["port"]
+
+
+def _measure_qps(port: int, num_vertices: int) -> dict:
+    """Hammer batched lookups over one TCP connection for ~QPS_SECONDS."""
+    rng = np.random.default_rng(SEED)
+    batches = [
+        rng.integers(0, num_vertices, size=BATCH).tolist() for _ in range(8)
+    ]
+    total = 0
+    rounds = 0
+    start = time.perf_counter()
+    while time.perf_counter() - start < QPS_SECONDS:
+        responses = send_requests(
+            "127.0.0.1",
+            port,
+            [{"op": "lookup", "vertices": batch} for batch in batches],
+        )
+        for response in responses:
+            assert response["ok"], response
+            total += len(response["partitions"])
+        rounds += len(batches)
+    elapsed = time.perf_counter() - start
+    return {
+        "batch": BATCH,
+        "requests": rounds,
+        "lookups": total,
+        "seconds": round(elapsed, 4),
+        "lookups_per_second": round(total / elapsed, 1),
+    }
+
+
+def _steady_state_churn(graph, pipeline: ChurnPipeline) -> dict:
+    """Sustained adversarial churn with a repartition after every burst."""
+    max_swap = 0.0
+    migration_fractions = []
+    for round_index in range(CHURN_ROUNDS):
+        _, generator = CHURN_GENERATORS[round_index % len(CHURN_GENERATORS)]
+        delta = generator(graph, CHURN_FRACTION, seed=SEED + round_index)
+        pipeline.ingest(delta)
+        report = pipeline.repartition_now()
+        max_swap = max(max_swap, report.swap_seconds)
+        migration_fractions.append(report.migration_fraction)
+    # The last report's phi is exact on the frozen graph, which after a
+    # synchronous repartition *is* the final live graph.
+    full = FastSpinner(SpinnerConfig(seed=SEED)).partition(graph, NUM_PARTITIONS)
+    return {
+        "rounds": CHURN_ROUNDS,
+        "fraction_per_round": CHURN_FRACTION,
+        "final_edges": graph.num_edges,
+        "phi_serving": round(report.phi, 4),
+        "phi_full_recompute": round(float(full.phi), 4),
+        "phi_margin": PHI_MARGIN,
+        "max_swap_seconds": round(max_swap, 6),
+        "mean_migration_fraction": round(
+            float(np.mean(migration_fractions)), 4
+        ),
+        "version": pipeline.store.version,
+    }
+
+
+def _stability_sweep() -> list[dict]:
+    """One incremental-repartition stability row per churn generator."""
+    rows = []
+    for name, generator in CHURN_GENERATORS:
+        graph = powerlaw_cluster(
+            NUM_VERTICES // 4, edges_per_vertex=8, triangle_probability=0.5, seed=SEED
+        )
+        store = AssignmentStore(NUM_PARTITIONS)
+        pipeline = ChurnPipeline(
+            graph, store, ServingConfig(num_partitions=NUM_PARTITIONS, spinner=SpinnerConfig(seed=SEED))
+        )
+        before_report = pipeline.bootstrap()
+        before = store.current().to_assignment()
+        delta = generator(graph, 0.05, seed=SEED)
+        pipeline.ingest(delta)
+        report = pipeline.repartition_now()
+        after = store.current().to_assignment()
+        rows.append(
+            {
+                "generator": name,
+                "new_edges": delta.num_new_edges,
+                "new_vertices": len(delta.added_vertices),
+                "phi_before": round(before_report.phi, 4),
+                "phi_after": round(report.phi, 4),
+                "difference": round(partitioning_difference(before, after), 4),
+                "migration_fraction": report.migration_fraction,
+            }
+        )
+    return rows
+
+
+def test_serving_speed() -> None:
+    """Benchmark the service end to end and write ``BENCH_serving.json``."""
+    graph = powerlaw_cluster(
+        NUM_VERTICES, edges_per_vertex=10, triangle_probability=0.7, seed=SEED
+    )
+    num_vertices = graph.num_vertices
+    num_edges = graph.num_edges
+    config = ServingConfig(
+        num_partitions=NUM_PARTITIONS,
+        edge_threshold=None,
+        spinner=SpinnerConfig(seed=SEED),
+        log_interval=0.0,
+    )
+    service = ShardingService(graph, config)
+    bootstrap_report = service.last_report
+    thread, port = _start_service(service)
+    try:
+        lookup = _measure_qps(port, num_vertices)
+        (stats_response,) = send_requests("127.0.0.1", port, [{"op": "stats"}])
+        stats = stats_response["stats"]
+    finally:
+        send_requests("127.0.0.1", port, [{"op": "shutdown"}])
+        thread.join(timeout=60)
+    lookup["latency_p50_s"] = stats["latency_p50_s"]
+    lookup["latency_p99_s"] = stats["latency_p99_s"]
+
+    churn = _steady_state_churn(graph, service.pipeline)
+    churn["max_swap_seconds"] = max(
+        churn["max_swap_seconds"], bootstrap_report.swap_seconds
+    )
+    sweep = _stability_sweep()
+
+    payload = {
+        "benchmark": "online sharding service",
+        "workload": {
+            "num_vertices": num_vertices,
+            "num_edges": num_edges,
+            "num_partitions": NUM_PARTITIONS,
+            "generator": "powerlaw-cluster (10 edges/vertex, p_triangle 0.7)",
+            "seed": SEED,
+        },
+        "min_qps_floor": MIN_QPS,
+        "lookup": lookup,
+        "churn": churn,
+        "stability_sweep": sweep,
+    }
+    write_bench(BENCH_PATH, payload)
+    print(
+        f"\nserving: {lookup['lookups_per_second']:.0f} lookups/s over TCP, "
+        f"steady-state phi {churn['phi_serving']:.4f} vs full recompute "
+        f"{churn['phi_full_recompute']:.4f}, max swap "
+        f"{churn['max_swap_seconds'] * 1e3:.2f}ms -> {BENCH_PATH.name}"
+    )
+
+    assert lookup["lookups_per_second"] >= MIN_QPS
+    assert churn["max_swap_seconds"] <= MAX_SWAP_SECONDS
+    assert churn["phi_serving"] >= churn["phi_full_recompute"] - PHI_MARGIN
+    for row in sweep:
+        assert 0.0 <= row["difference"] <= 1.0

@@ -22,25 +22,22 @@ Run directly with::
 
 from __future__ import annotations
 
-import json
-import os
 import time
-from pathlib import Path
 
 from repro.core.config import SpinnerConfig
 from repro.core.spinner import SpinnerPartitioner
 from repro.graph.generators import watts_strogatz
-from repro.graph.io import atomic_write_text
+from bench_io import bench_path, env_float, env_int, write_bench
 
-BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_spinner.json"
+BENCH_PATH = bench_path("BENCH_spinner.json")
 
-NUM_VERTICES = int(os.environ.get("SPINNER_BENCH_NUM_VERTICES", "100000"))
+NUM_VERTICES = env_int("SPINNER_BENCH_NUM_VERTICES", 100000)
 DEGREE = 10  # ~500k undirected edges at 100k vertices
 REWIRE_BETA = 0.2
 NUM_WORKERS = 8
 NUM_PARTITIONS = 8
 MAX_ITERATIONS = 3  # first iterations dominate; bounded so the dict run stays tractable
-MIN_SPEEDUP = float(os.environ.get("SPINNER_BENCH_MIN_SPEEDUP", "5.0"))
+MIN_SPEEDUP = env_float("SPINNER_BENCH_MIN_SPEEDUP", 5.0)
 
 
 def _assert_equivalent(dict_result, vector_result) -> None:
@@ -107,7 +104,7 @@ def test_batch_spinner_speedup_on_100k():
         "runs": results,
         "bit_exact": True,
     }
-    atomic_write_text(BENCH_PATH, json.dumps(payload, indent=2) + "\n")
+    write_bench(BENCH_PATH, payload)
     for label, run in results.items():
         print(
             f"\nspinner pregel speedup [{label}]: dict {run['dict_seconds']:.2f}s -> "

@@ -13,7 +13,11 @@
   in a checkpoint directory and run it to completion;
 * ``ingest`` — stream an undirected edge-list file through the chunked
   external sort into an on-disk CSR store (``--edge-store`` input for
-  ``partition``), with peak memory bounded regardless of the file size.
+  ``partition``), with peak memory bounded regardless of the file size;
+* ``serve`` — run the online sharding service: answer vertex→partition
+  lookups over a JSON-lines TCP protocol from a versioned assignment
+  store while churn ingestion triggers incremental repartitioning in the
+  background (:mod:`repro.serving`).
 
 All user errors (invalid flag combinations, malformed fault plans, bad
 checkpoint directories, any :class:`~repro.errors.ReproError`) exit with
@@ -29,6 +33,7 @@ from collections.abc import Sequence
 
 from repro.core.config import SpinnerConfig
 from repro.errors import ReproError
+from repro.graph.conversion import ensure_undirected
 from repro.experiments import (
     fig3,
     fig4,
@@ -48,6 +53,7 @@ from repro.graph.io import (
     DEFAULT_RUN_HALF_EDGES,
     ingest_edge_list,
     read_directed_edge_list,
+    read_undirected_edge_list,
     write_partitioning,
     write_partitioning_array,
 )
@@ -59,6 +65,7 @@ from repro.partitioners.registry import (
     available_partitioners,
     make_partitioner,
 )
+from repro.serving import SERVING_ENGINES, ServingConfig, ShardingService
 
 # Experiments that honour --engine; the remaining partitioning experiments
 # ignore it (the experiment command warns when that happens).
@@ -317,6 +324,87 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=42, help="seed for the fault plan's backoff jitter"
     )
 
+    serve = subparsers.add_parser(
+        "serve", help="run the online sharding service (lookup + churn TCP server)"
+    )
+    _add_graph_arguments(serve)
+    serve.add_argument("-k", "--num-partitions", type=int, required=True)
+    serve.add_argument(
+        "--assignment",
+        default=None,
+        help="warm-start from a 'vertex partition' file written by a "
+        "previous run (partition --output or serve --save-assignment) "
+        "instead of computing the initial partitioning",
+    )
+    serve.add_argument(
+        "--save-assignment",
+        default=None,
+        help="persist the latest assignment to this file on shutdown "
+        "(atomic write; re-usable as --assignment)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="listen address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="listen port; 0 (default) binds an ephemeral port, printed "
+        "as 'serving on HOST:PORT' once bound",
+    )
+    serve.add_argument(
+        "--edge-threshold",
+        type=int,
+        default=512,
+        help="repartition once this many pending churn edges accumulated "
+        "(0 disables the count trigger; default 512)",
+    )
+    serve.add_argument(
+        "--phi-drift",
+        type=float,
+        default=None,
+        help="repartition once the incrementally-estimated locality phi "
+        "drops this far below the last published value (disabled by default)",
+    )
+    serve.add_argument(
+        "--engine",
+        choices=SERVING_ENGINES,
+        default="fast",
+        help="repartitioning engine: 'fast' (vectorized FastSpinner, "
+        "default), 'dict' or 'vector' (the Pregel runtimes)",
+    )
+    serve.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        help="shared-memory worker processes for background repartitions "
+        "(--engine vector only)",
+    )
+    serve.add_argument("--seed", type=int, default=42)
+    serve.add_argument(
+        "--storage",
+        choices=("ram", "mmap"),
+        default=None,
+        help="storage tier for background FastSpinner repartitions "
+        "(--engine fast only); 'mmap' streams the CSR arrays from disk",
+    )
+    serve.add_argument(
+        "--storage-dir",
+        default=None,
+        help="store/spill directory for --storage mmap",
+    )
+    serve.add_argument(
+        "--storage-chunk",
+        type=int,
+        default=None,
+        help="half-edges per streamed chunk for --storage mmap",
+    )
+    serve.add_argument(
+        "--log-interval",
+        type=float,
+        default=10.0,
+        help="seconds between periodic metrics log lines on stderr "
+        "(0 disables)",
+    )
+
     return parser
 
 
@@ -569,6 +657,101 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import logging
+
+    if args.num_partitions < 1:
+        _fail(f"--num-partitions must be >= 1, got {args.num_partitions}")
+    if args.edge_threshold < 0:
+        _fail(f"--edge-threshold must be >= 0, got {args.edge_threshold}")
+    edge_threshold = args.edge_threshold if args.edge_threshold > 0 else None
+    if edge_threshold is None and args.phi_drift is None:
+        _fail(
+            "both repartition triggers are disabled; give --edge-threshold > 0 "
+            "and/or --phi-drift"
+        )
+    if args.phi_drift is not None and not 0.0 < args.phi_drift <= 1.0:
+        _fail(f"--phi-drift must lie in (0, 1], got {args.phi_drift}")
+    if args.parallel < 1:
+        _fail(f"--parallel must be >= 1, got {args.parallel}")
+    if args.parallel > 1 and args.engine != "vector":
+        _fail("--parallel > 1 requires --engine vector")
+    if args.storage is not None and args.engine != "fast":
+        _fail("--storage only applies to --engine fast")
+    if args.storage != "mmap":
+        if args.storage_dir is not None:
+            _fail("--storage-dir requires --storage mmap")
+        if args.storage_chunk is not None:
+            _fail("--storage-chunk requires --storage mmap")
+    if args.storage_chunk is not None and args.storage_chunk < 1:
+        _fail(f"--storage-chunk must be >= 1, got {args.storage_chunk}")
+    if not 0 <= args.port <= 65535:
+        _fail(f"--port must lie in [0, 65535], got {args.port}")
+    if args.log_interval < 0:
+        _fail(f"--log-interval must be >= 0, got {args.log_interval}")
+    if args.assignment is not None and not os.path.isfile(args.assignment):
+        _fail(f"assignment file {args.assignment!r} does not exist")
+
+    if args.dataset is not None:
+        graph = ensure_undirected(load_dataset(args.dataset, scale=args.scale))
+    elif args.edge_list is not None:
+        if not os.path.isfile(args.edge_list):
+            _fail(f"edge list {args.edge_list!r} does not exist")
+        graph = read_undirected_edge_list(args.edge_list)
+    else:
+        _fail("provide either --dataset or --edge-list")
+
+    config = ServingConfig(
+        num_partitions=args.num_partitions,
+        edge_threshold=edge_threshold,
+        phi_drift=args.phi_drift,
+        engine=args.engine,
+        parallel=args.parallel,
+        spinner=SpinnerConfig(
+            seed=args.seed,
+            storage=args.storage if args.storage is not None else "ram",
+            storage_dir=args.storage_dir,
+            storage_chunk=args.storage_chunk,
+        ),
+        log_interval=args.log_interval,
+    )
+    logging.basicConfig(
+        stream=sys.stderr,
+        level=logging.INFO,
+        format="%(asctime)s %(name)s %(message)s",
+    )
+    service = ShardingService(
+        graph,
+        config,
+        warm_start=args.assignment,
+        host=args.host,
+        port=args.port,
+    )
+    if service.last_report is not None:
+        print(
+            format_table([service.last_report.as_row()], title="Initial partitioning")
+        )
+    else:
+        print(
+            f"warm-started from {args.assignment} "
+            f"at version {service.store.version}"
+        )
+
+    def _announce(started: ShardingService) -> None:
+        print(f"serving on {started.host}:{started.port}", flush=True)
+
+    try:
+        asyncio.run(service.serve_forever(ready=_announce))
+    except KeyboardInterrupt:
+        pass
+    if args.save_assignment is not None:
+        service.store.save(args.save_assignment)
+        print(f"assignment written to {args.save_assignment}")
+    print(f"stopped at version {service.store.version}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point of the ``spinner-repro`` command."""
     parser = build_parser()
@@ -584,6 +767,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_recover(args)
         if args.command == "ingest":
             return _cmd_ingest(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
     except ReproError as exc:
         # Library errors (bad fault specs, unreadable checkpoints, invalid
         # configurations) are user errors at the CLI surface: one line, exit 2.

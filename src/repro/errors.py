@@ -79,3 +79,7 @@ class RecoveryAbortedError(PregelError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment harness is configured incorrectly."""
+
+
+class ServingError(ReproError):
+    """Raised for invalid operations against the online sharding service."""

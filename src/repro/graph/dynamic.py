@@ -7,6 +7,13 @@ to repartitioning from scratch.  This module provides the equivalent
 machinery: it withholds a fraction of a graph's edges, exposes the
 remaining snapshot, and then releases batches of the withheld edges as
 change sets.
+
+Beyond the paper's uniform arrivals, the adversarial generators
+(:func:`random_new_edges`, :func:`bursty_new_edges`,
+:func:`hub_birth_edges`) produce seeded :class:`GraphDelta` batches with
+deliberately hostile shapes — structure-ignoring noise, hotspot bursts
+and high-degree vertex births — used by the stability sweep and as the
+serving benchmark's churn sources.
 """
 
 from __future__ import annotations
@@ -150,12 +157,12 @@ def random_new_edges(
     by property tests: edges are sampled uniformly among non-existing pairs,
     so they do not follow the community structure of the graph.
     """
-    if not 0.0 <= fraction <= 1.0:
-        raise GraphError("fraction must lie in [0, 1]")
+    target = _delta_target(graph, fraction)
     rng = np.random.default_rng(seed)
     vertices = list(graph.vertices())
-    target = int(round(graph.num_edges * fraction))
     delta = GraphDelta()
+    if not vertices:
+        return delta
     attempts = 0
     while len(delta.added_edges) < target and attempts < target * 50 + 100:
         attempts += 1
@@ -164,4 +171,98 @@ def random_new_edges(
         if u == v or graph.has_edge(u, v):
             continue
         delta.added_edges.append((u, v, 1))
+    return delta
+
+
+def _delta_target(graph: UndirectedGraph, fraction: float) -> int:
+    """Validate ``fraction`` and return the target new-edge count."""
+    if not 0.0 <= fraction <= 1.0:
+        raise GraphError("fraction must lie in [0, 1]")
+    return int(round(graph.num_edges * fraction))
+
+
+def bursty_new_edges(
+    graph: UndirectedGraph,
+    fraction: float,
+    seed: int | None = None,
+    num_hotspots: int = 8,
+) -> GraphDelta:
+    """Adversarial burst: new edges concentrated around a few hotspots.
+
+    Models a viral event — a small random set of existing vertices (the
+    hotspots) suddenly gains edges to vertices sampled uniformly from the
+    whole graph, so the new edges ignore community structure *and* pile
+    their load onto few partitions at once.  Same seeded
+    :class:`GraphDelta` contract as :func:`random_new_edges`: ``fraction``
+    is relative to the current edge count, duplicates of existing edges
+    and self-loops are never emitted, and each pair appears at most once
+    in the delta.
+    """
+    target = _delta_target(graph, fraction)
+    if num_hotspots < 1:
+        raise GraphError(f"num_hotspots must be >= 1, got {num_hotspots}")
+    rng = np.random.default_rng(seed)
+    vertices = list(graph.vertices())
+    delta = GraphDelta()
+    if not vertices or target == 0:
+        return delta
+    chosen = rng.choice(
+        len(vertices), size=min(num_hotspots, len(vertices)), replace=False
+    )
+    hotspots = [vertices[int(index)] for index in chosen]
+    seen: set[tuple[int, int]] = set()
+    attempts = 0
+    while len(delta.added_edges) < target and attempts < target * 50 + 100:
+        attempts += 1
+        u = hotspots[int(rng.integers(len(hotspots)))]
+        v = vertices[int(rng.integers(len(vertices)))]
+        if u == v or graph.has_edge(u, v):
+            continue
+        key = (min(u, v), max(u, v))
+        if key in seen:
+            continue
+        seen.add(key)
+        delta.added_edges.append((u, v, 1))
+    return delta
+
+
+def hub_birth_edges(
+    graph: UndirectedGraph,
+    fraction: float,
+    seed: int | None = None,
+    num_hubs: int = 4,
+) -> GraphDelta:
+    """Adversarial hub births: brand-new high-degree vertices appear.
+
+    Models a celebrity joining the network — ``num_hubs`` vertices that
+    did not exist before (ids above the current maximum) arrive together
+    with large neighbourhoods sampled uniformly from the existing
+    vertices.  This stresses the incremental path's new-vertex placement:
+    the hubs carry a large weighted degree the least-loaded rule must
+    absorb without violating balance.  Same seeded :class:`GraphDelta`
+    contract as :func:`random_new_edges` (``fraction`` of the current
+    edge count, no duplicates), with the hubs listed in
+    ``added_vertices``.
+    """
+    target = _delta_target(graph, fraction)
+    if num_hubs < 1:
+        raise GraphError(f"num_hubs must be >= 1, got {num_hubs}")
+    rng = np.random.default_rng(seed)
+    vertices = list(graph.vertices())
+    delta = GraphDelta()
+    if not vertices or target == 0:
+        return delta
+    next_id = max(vertices) + 1
+    hubs = [next_id + offset for offset in range(num_hubs)]
+    delta.added_vertices.update(hubs)
+    linked: set[tuple[int, int]] = set()
+    attempts = 0
+    while len(delta.added_edges) < target and attempts < target * 50 + 100:
+        attempts += 1
+        hub = hubs[len(delta.added_edges) % len(hubs)]
+        v = vertices[int(rng.integers(len(vertices)))]
+        if (hub, v) in linked:
+            continue
+        linked.add((hub, v))
+        delta.added_edges.append((hub, v, 1))
     return delta

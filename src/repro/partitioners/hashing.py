@@ -30,6 +30,21 @@ def _mix(vertex_id: int) -> int:
     return z ^ (z >> 31)
 
 
+def hash_labels_array(vertex_ids: np.ndarray, num_partitions: int) -> np.ndarray:
+    """Vectorized ``_mix(id) mod k`` over an id array (identical to ``_mix``).
+
+    Shared by :class:`HashPartitioner` and the serving layer's
+    miss-fallback (:mod:`repro.serving.store`), so a vertex born after the
+    current snapshot is routed to the exact partition hash partitioning
+    would pick for it.
+    """
+    z = np.asarray(vertex_ids).astype(np.uint64) + np.uint64(0x9E3779B97F4A7C15)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    z = z ^ (z >> np.uint64(31))
+    return (z % np.uint64(num_partitions)).astype(np.int64)
+
+
 class HashPartitioner(Partitioner):
     """Assign vertex ``v`` to partition ``hash(v) mod k``."""
 
@@ -43,11 +58,7 @@ class HashPartitioner(Partitioner):
 
     def partition_array(self, graph: CSRGraph, num_partitions: int) -> np.ndarray:
         """Vectorized splitmix64 over the original ids (identical to ``_mix``)."""
-        z = graph.original_ids.astype(np.uint64) + np.uint64(0x9E3779B97F4A7C15)
-        z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
-        z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
-        z = z ^ (z >> np.uint64(31))
-        return (z % np.uint64(num_partitions)).astype(np.int64)
+        return hash_labels_array(graph.original_ids, num_partitions)
 
 
 class ModuloPartitioner(Partitioner):

@@ -1,0 +1,151 @@
+"""Observability surface of the sharding service.
+
+Plain counters and gauges — no third-party metrics dependency — plus a
+bounded reservoir of recent lookup latencies for the p50/p99 quantiles.
+Everything is mutated from the service's event loop (or, for repartition
+gauges, from the loop right after a background run completes), so no
+locking is needed; :meth:`ServingMetrics.stats` renders one consistent
+dictionary for the ``stats`` query and
+:meth:`ServingMetrics.log_line` a ``key=value`` structured log line for
+the periodic logger.
+
+Tracked signals (the issue's observability checklist):
+
+* ``lookups_total`` / ``vertices_looked_up`` / ``fallback_lookups`` and
+  the derived overall + windowed lookups/sec;
+* lookup latency p50/p99 (seconds, over the last
+  :data:`LATENCY_RESERVOIR` requests);
+* current snapshot ``version``;
+* ``phi`` / ``rho`` of the live assignment (gauges refreshed at every
+  publish, recomputable on demand via the service's ``quality`` op);
+* ``migrations_last`` / ``migration_fraction_last`` per repartition and
+  ``repartition_seconds_last`` wall time.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+#: Number of most recent lookup latencies kept for the quantile estimates.
+LATENCY_RESERVOIR = 4096
+
+
+def _quantile(samples: list[float], q: float) -> float:
+    """Nearest-rank quantile of a non-empty sorted sample list."""
+    index = min(len(samples) - 1, max(0, int(round(q * (len(samples) - 1)))))
+    return samples[index]
+
+
+class ServingMetrics:
+    """Counters, gauges and latency quantiles for one service instance."""
+
+    def __init__(self) -> None:
+        self.started_at = time.monotonic()
+        self.counters: dict[str, int] = {
+            "lookups_total": 0,
+            "vertices_looked_up": 0,
+            "fallback_lookups": 0,
+            "ingested_edges": 0,
+            "ingested_vertices": 0,
+            "repartitions": 0,
+        }
+        self.gauges: dict[str, float] = {}
+        self._latencies: deque[float] = deque(maxlen=LATENCY_RESERVOIR)
+        self._window_started = self.started_at
+        self._window_lookups = 0
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def observe_lookup(
+        self, num_vertices: int, num_fallback: int, seconds: float
+    ) -> None:
+        """Record one lookup request covering ``num_vertices`` vertices."""
+        self.counters["lookups_total"] += 1
+        self.counters["vertices_looked_up"] += num_vertices
+        self.counters["fallback_lookups"] += num_fallback
+        self._window_lookups += num_vertices
+        self._latencies.append(seconds)
+
+    def observe_ingest(self, num_edges: int, num_vertices: int) -> None:
+        """Record one churn delta entering the pipeline."""
+        self.counters["ingested_edges"] += num_edges
+        self.counters["ingested_vertices"] += num_vertices
+
+    def observe_repartition(
+        self,
+        *,
+        version: int,
+        phi: float,
+        rho: float,
+        migrations: int,
+        migration_fraction: float,
+        wall_seconds: float,
+        swap_seconds: float,
+    ) -> None:
+        """Record a completed repartition and refresh the quality gauges."""
+        self.counters["repartitions"] += 1
+        self.gauges["version"] = float(version)
+        self.gauges["phi"] = phi
+        self.gauges["rho"] = rho
+        self.gauges["migrations_last"] = float(migrations)
+        self.gauges["migration_fraction_last"] = migration_fraction
+        self.gauges["repartition_seconds_last"] = wall_seconds
+        self.gauges["snapshot_swap_seconds_last"] = swap_seconds
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set an arbitrary gauge (e.g. the bootstrap version/phi/rho)."""
+        self.gauges[name] = value
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def latency_quantiles(self) -> dict[str, float]:
+        """p50/p99 of the recent lookup latencies (seconds; 0 when empty)."""
+        if not self._latencies:
+            return {"latency_p50_s": 0.0, "latency_p99_s": 0.0}
+        ordered = sorted(self._latencies)
+        return {
+            "latency_p50_s": _quantile(ordered, 0.50),
+            "latency_p99_s": _quantile(ordered, 0.99),
+        }
+
+    def lookups_per_second(self) -> float:
+        """Overall vertices-looked-up rate since the service started."""
+        elapsed = time.monotonic() - self.started_at
+        if elapsed <= 0:
+            return 0.0
+        return self.counters["vertices_looked_up"] / elapsed
+
+    def window_rate(self, reset: bool = True) -> float:
+        """Lookup rate since the last windowed read (the periodic log's rate)."""
+        now = time.monotonic()
+        elapsed = now - self._window_started
+        rate = self._window_lookups / elapsed if elapsed > 0 else 0.0
+        if reset:
+            self._window_started = now
+            self._window_lookups = 0
+        return rate
+
+    def stats(self) -> dict:
+        """One consistent dictionary of every counter, gauge and quantile."""
+        payload: dict = dict(self.counters)
+        payload.update({name: value for name, value in sorted(self.gauges.items())})
+        payload.update(self.latency_quantiles())
+        payload["lookups_per_sec"] = self.lookups_per_second()
+        payload["uptime_seconds"] = time.monotonic() - self.started_at
+        return payload
+
+    def log_line(self) -> str:
+        """Structured ``key=value`` line for the periodic logger."""
+        stats = self.stats()
+        stats["window_lookups_per_sec"] = self.window_rate()
+        parts = []
+        for key in sorted(stats):
+            value = stats[key]
+            if isinstance(value, float):
+                parts.append(f"{key}={value:.6g}")
+            else:
+                parts.append(f"{key}={value}")
+        return "serving " + " ".join(parts)

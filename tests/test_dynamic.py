@@ -3,8 +3,15 @@
 import pytest
 
 from repro.errors import GraphError
-from repro.graph.dynamic import EdgeArrivalStream, GraphDelta, random_new_edges
+from repro.graph.dynamic import (
+    EdgeArrivalStream,
+    GraphDelta,
+    bursty_new_edges,
+    hub_birth_edges,
+    random_new_edges,
+)
 from repro.graph.generators import erdos_renyi
+from repro.graph.undirected import UndirectedGraph
 
 
 @pytest.fixture
@@ -143,3 +150,67 @@ def test_graph_delta_new_vertices():
     graph = erdos_renyi(10, 20, seed=0)
     delta.apply(graph)
     assert graph.has_edge(100, 101)
+
+
+def test_bursty_new_edges_concentrate_on_hotspots(full_graph):
+    delta = bursty_new_edges(full_graph, fraction=0.05, seed=3, num_hotspots=4)
+    assert delta.num_new_edges > 0
+    assert not delta.added_vertices
+    endpoints = set()
+    for u, v, weight in delta.added_edges:
+        assert weight == 1
+        assert u != v
+        assert not full_graph.has_edge(u, v)
+        endpoints.add(u)
+    # Every edge has one endpoint among the (at most) 4 hotspots.
+    assert len(endpoints) <= 4
+    # No duplicate pairs within the delta.
+    pairs = {(min(u, v), max(u, v)) for u, v, _w in delta.added_edges}
+    assert len(pairs) == delta.num_new_edges
+
+
+def test_bursty_new_edges_deterministic(full_graph):
+    first = bursty_new_edges(full_graph, fraction=0.05, seed=9)
+    second = bursty_new_edges(full_graph, fraction=0.05, seed=9)
+    assert first.added_edges == second.added_edges
+
+
+def test_bursty_new_edges_validation(full_graph):
+    with pytest.raises(GraphError):
+        bursty_new_edges(full_graph, fraction=2.0, seed=1)
+    with pytest.raises(GraphError):
+        bursty_new_edges(full_graph, fraction=0.1, seed=1, num_hotspots=0)
+    assert bursty_new_edges(full_graph, fraction=0.0, seed=1).num_new_edges == 0
+    assert bursty_new_edges(UndirectedGraph(), fraction=0.5, seed=1).num_new_edges == 0
+
+
+def test_hub_birth_edges_create_new_hubs(full_graph):
+    max_existing = max(full_graph.vertices())
+    delta = hub_birth_edges(full_graph, fraction=0.1, seed=3, num_hubs=3)
+    assert delta.num_new_edges > 0
+    assert len(delta.added_vertices) == 3
+    assert all(hub > max_existing for hub in delta.added_vertices)
+    for u, v, _w in delta.added_edges:
+        assert u in delta.added_vertices
+        assert v in full_graph
+    # Applying the delta materializes high-degree hubs.
+    graph = full_graph
+    before = graph.num_edges
+    delta.apply(graph)
+    assert graph.num_edges == before + delta.num_new_edges
+
+
+def test_hub_birth_edges_deterministic(full_graph):
+    first = hub_birth_edges(full_graph, fraction=0.1, seed=5)
+    second = hub_birth_edges(full_graph, fraction=0.1, seed=5)
+    assert first.added_edges == second.added_edges
+    assert first.added_vertices == second.added_vertices
+
+
+def test_hub_birth_edges_validation(full_graph):
+    with pytest.raises(GraphError):
+        hub_birth_edges(full_graph, fraction=-0.1, seed=1)
+    with pytest.raises(GraphError):
+        hub_birth_edges(full_graph, fraction=0.1, seed=1, num_hubs=0)
+    assert hub_birth_edges(full_graph, fraction=0.0, seed=1).num_new_edges == 0
+    assert hub_birth_edges(UndirectedGraph(), fraction=0.5, seed=1).num_new_edges == 0
