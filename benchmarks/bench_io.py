@@ -11,15 +11,22 @@ being copy-pasted into every benchmark:
   speedup floor or shrink a workload (see ``.github/workflows/ci.yml``)
   without touching the dedicated-machine contract baked into the code;
 * :func:`host_metadata` — the host facts that make a recorded number
-  interpretable later (CPU count, platform, Python version);
+  interpretable later (CPU count, platform, Python version), collected
+  once per process and reused so every artifact written in one run
+  carries the identical block;
 * :func:`write_bench` — atomic JSON write (temp file + fsync + rename,
   via :func:`repro.graph.io.atomic_write_text`) that injects the host
-  metadata under the ``"host"`` key when the payload has none.
+  metadata under the ``"host"`` key when the payload has none, and
+  refuses NaN/inf metric values: a benchmark that produced a non-finite
+  number has a measurement bug, and ``NaN`` would silently pass any
+  ``>=`` floor comparison downstream.
 """
 
 from __future__ import annotations
 
+import functools
 import json
+import math
 import os
 import platform
 from pathlib import Path
@@ -45,8 +52,8 @@ def env_float(name: str, default: float) -> float:
     return float(os.environ.get(name, str(default)))
 
 
-def host_metadata() -> dict:
-    """Host facts recorded alongside every benchmark payload."""
+@functools.lru_cache(maxsize=1)
+def _host_metadata_once() -> dict:
     return {
         "cpu_count": os.cpu_count(),
         "platform": platform.platform(),
@@ -54,8 +61,40 @@ def host_metadata() -> dict:
     }
 
 
+def host_metadata() -> dict:
+    """Host facts recorded alongside every benchmark payload.
+
+    Collected once per process (``platform.platform()`` shells out to
+    ``uname`` internals on first call) and copied on the way out so
+    callers can annotate their own view without corrupting the cache.
+    """
+    return dict(_host_metadata_once())
+
+
+def _check_finite(value, key_path: str) -> None:
+    """Reject NaN/inf anywhere in a benchmark payload, naming the key."""
+    if isinstance(value, float) and not math.isfinite(value):
+        raise ValueError(
+            f"benchmark payload contains non-finite value {value!r} at "
+            f"{key_path!r}; refusing to record it"
+        )
+    if isinstance(value, dict):
+        for key, child in value.items():
+            _check_finite(child, f"{key_path}.{key}")
+    elif isinstance(value, (list, tuple)):
+        for index, child in enumerate(value):
+            _check_finite(child, f"{key_path}[{index}]")
+
+
 def write_bench(path: Path | str, payload: dict) -> None:
-    """Atomically write ``payload`` (plus host metadata) as indented JSON."""
+    """Atomically write ``payload`` (plus host metadata) as indented JSON.
+
+    Raises :class:`ValueError` if any metric value in the payload is NaN
+    or infinite — such a number means the benchmark mis-measured, and a
+    recorded ``NaN`` would silently defeat every later floor comparison.
+    """
     enriched = dict(payload)
     enriched.setdefault("host", host_metadata())
+    for key, value in enriched.items():
+        _check_finite(value, key)
     atomic_write_text(Path(path), json.dumps(enriched, indent=2) + "\n")

@@ -6,9 +6,20 @@ graph management system would — and records the numbers in
 trajectory is tracked from PR to PR:
 
 * **lookup throughput** — batched vertex→partition lookups over the real
-  TCP JSON-lines protocol against a live service; the sustained
-  lookups/sec floor is asserted (``SERVING_BENCH_MIN_QPS`` relaxes it on
-  shared runners).
+  TCP JSON-lines protocol against a live service, in both per-request
+  (one request in flight) and pipelined (send-all-then-read-all) client
+  modes; the sustained lookups/sec floors are asserted
+  (``SERVING_BENCH_MIN_QPS`` / ``SERVING_BENCH_MIN_BATCHED_QPS`` relax
+  them on shared runners).
+* **pipelining speedup** — single-vertex lookups per-request vs
+  pipelined over the same wire; the server drains the socket buffer,
+  fuses the run into one vectorized ``lookup_many`` and coalesces all
+  responses into one write, so the pipelined mode must be at least
+  ``SERVING_BENCH_MIN_PIPELINE_SPEEDUP``× faster.
+* **dense vs sparse snapshot** — in-process ``lookup_many`` against the
+  same data held contiguously (O(1) direct index) and gapped
+  (``searchsorted``); the dense representation must win by at least
+  ``SERVING_BENCH_MIN_DENSE_SPEEDUP``×.
 * **snapshot-swap latency** — the atomic version swap is the only
   publish-side work lookups can ever observe; its worst case across all
   repartitions of the run is asserted under
@@ -32,6 +43,8 @@ Run directly with::
 from __future__ import annotations
 
 import asyncio
+import json
+import socket
 import threading
 import time
 
@@ -43,6 +56,7 @@ from repro.graph.generators import powerlaw_cluster
 from repro.graph.dynamic import bursty_new_edges, hub_birth_edges, random_new_edges
 from repro.metrics.stability import partitioning_difference
 from repro.serving import (
+    AssignmentSnapshot,
     AssignmentStore,
     ChurnPipeline,
     ServingConfig,
@@ -57,8 +71,17 @@ NUM_VERTICES = env_int("SERVING_BENCH_NUM_VERTICES", 20000)
 NUM_PARTITIONS = env_int("SERVING_BENCH_NUM_PARTITIONS", 8)
 SEED = env_int("SERVING_BENCH_SEED", 42)
 BATCH = env_int("SERVING_BENCH_BATCH", 1024)
-#: Minimum sustained batched-lookup throughput over TCP (lookups/sec).
+#: Minimum sustained batched-lookup throughput over TCP (lookups/sec),
+#: measured in the sequential per-request client mode.
 MIN_QPS = env_float("SERVING_BENCH_MIN_QPS", 20000.0)
+#: Minimum batched-lookup throughput with a pipelined client (lookups/sec).
+MIN_BATCHED_QPS = env_float("SERVING_BENCH_MIN_BATCHED_QPS", 1_560_000.0)
+#: Pipelined single-lookup QPS must beat per-request by at least this.
+MIN_PIPELINE_SPEEDUP = env_float("SERVING_BENCH_MIN_PIPELINE_SPEEDUP", 3.0)
+#: Dense direct-index lookup_many must beat searchsorted by at least this.
+MIN_DENSE_SPEEDUP = env_float("SERVING_BENCH_MIN_DENSE_SPEEDUP", 1.5)
+#: Requests kept in flight per pipelined burst (<= server max_pipeline_batch).
+PIPELINE_DEPTH = env_int("SERVING_BENCH_PIPELINE_DEPTH", 512)
 #: Worst-case tolerated snapshot-swap latency (seconds).
 MAX_SWAP_SECONDS = env_float("SERVING_BENCH_MAX_SWAP_SECONDS", 0.5)
 #: Steady-state phi must stay within this margin of a full recompute.
@@ -114,11 +137,154 @@ def _measure_qps(port: int, num_vertices: int) -> dict:
         rounds += len(batches)
     elapsed = time.perf_counter() - start
     return {
+        "mode": "per_request",
         "batch": BATCH,
         "requests": rounds,
         "lookups": total,
         "seconds": round(elapsed, 4),
         "lookups_per_second": round(total / elapsed, 1),
+    }
+
+
+def _measure_batched_pipelined(port: int, num_vertices: int) -> dict:
+    """Pipelined batched lookups: prebuilt request bytes, one burst in flight.
+
+    The client cost is deliberately minimal — requests are serialized
+    once up front and responses are length-counted, not parsed, after a
+    first fully-verified round — so the number approximates the server's
+    data-plane ceiling rather than ``json.loads`` on the client.
+    """
+    rng = np.random.default_rng(SEED)
+    batches = [
+        rng.integers(0, num_vertices, size=BATCH).tolist() for _ in range(8)
+    ]
+    burst = b"".join(
+        json.dumps({"op": "lookup", "vertices": batch}).encode("utf-8") + b"\n"
+        for batch in batches
+    )
+    total = 0
+    rounds = 0
+    with socket.create_connection(("127.0.0.1", port), timeout=60) as conn:
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        reader = conn.makefile("rb")
+        # Verification round (not timed): every response parses and is ok.
+        conn.sendall(burst)
+        for batch in batches:
+            response = json.loads(reader.readline())
+            assert response["ok"] and len(response["partitions"]) == len(batch)
+        start = time.perf_counter()
+        while time.perf_counter() - start < QPS_SECONDS:
+            conn.sendall(burst)
+            for batch in batches:
+                assert reader.readline().endswith(b"\n")
+                total += len(batch)
+            rounds += len(batches)
+        elapsed = time.perf_counter() - start
+    return {
+        "mode": "pipelined",
+        "batch": BATCH,
+        "requests": rounds,
+        "lookups": total,
+        "seconds": round(elapsed, 4),
+        "lookups_per_second": round(total / elapsed, 1),
+    }
+
+
+def _measure_single_lookup_modes(port: int, num_vertices: int) -> dict:
+    """Single-vertex lookups: sequential per-request vs pipelined bursts.
+
+    Both modes use the same prebuilt request lines over a raw socket, so
+    the only variable is how many requests are in flight: one (classic
+    request/response) vs ``PIPELINE_DEPTH`` (the server drains the burst,
+    fuses it into one vectorized ``lookup_many`` and answers with one
+    coalesced write).
+    """
+    rng = np.random.default_rng(SEED + 1)
+    lines = [
+        json.dumps({"op": "lookup", "vertex": int(v)}).encode("utf-8") + b"\n"
+        for v in rng.integers(0, num_vertices, size=PIPELINE_DEPTH)
+    ]
+    burst = b"".join(lines)
+    rows = {}
+    for mode in ("per_request", "pipelined"):
+        done = 0
+        with socket.create_connection(("127.0.0.1", port), timeout=60) as conn:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            reader = conn.makefile("rb")
+            # Verify once (not timed) that responses are well-formed.
+            conn.sendall(lines[0])
+            assert json.loads(reader.readline())["ok"]
+            start = time.perf_counter()
+            while time.perf_counter() - start < QPS_SECONDS:
+                if mode == "pipelined":
+                    conn.sendall(burst)
+                    for _ in lines:
+                        assert reader.readline().endswith(b"\n")
+                    done += len(lines)
+                else:
+                    conn.sendall(lines[done % len(lines)])
+                    assert reader.readline().endswith(b"\n")
+                    done += 1
+            elapsed = time.perf_counter() - start
+        rows[mode] = {
+            "requests": done,
+            "seconds": round(elapsed, 4),
+            "lookups_per_second": round(done / elapsed, 1),
+        }
+    speedup = (
+        rows["pipelined"]["lookups_per_second"]
+        / rows["per_request"]["lookups_per_second"]
+    )
+    return {
+        "pipeline_depth": PIPELINE_DEPTH,
+        "per_request": rows["per_request"],
+        "pipelined": rows["pipelined"],
+        "speedup": round(speedup, 2),
+    }
+
+
+def _measure_store_paths() -> dict:
+    """In-process ``lookup_many``: dense direct index vs searchsorted.
+
+    Both snapshots hold the *same* contiguous id range; the sparse row
+    forces the ``searchsorted`` probe on identical data by clearing the
+    dense base, so the measured delta is purely the representation.
+    """
+    rng = np.random.default_rng(SEED + 2)
+    ids = np.arange(NUM_VERTICES, dtype=np.int64)
+    labels = rng.integers(0, NUM_PARTITIONS, size=NUM_VERTICES).astype(np.int64)
+    queries = [
+        rng.integers(0, NUM_VERTICES, size=BATCH).astype(np.int64)
+        for _ in range(32)
+    ]
+    rows = {}
+    for mode in ("dense", "sparse"):
+        snapshot = AssignmentSnapshot(1, ids, labels, NUM_PARTITIONS)
+        if mode == "sparse":
+            snapshot._dense_base = None  # force the searchsorted path
+        assert snapshot.is_dense == (mode == "dense")
+        for query in queries:  # warm-up, also sanity-checks the path
+            snapshot.lookup_many(query)
+        done = 0
+        start = time.perf_counter()
+        while time.perf_counter() - start < QPS_SECONDS / 2:
+            for query in queries:
+                snapshot.lookup_many(query)
+                done += query.shape[0]
+        elapsed = time.perf_counter() - start
+        rows[mode] = {
+            "lookups": done,
+            "seconds": round(elapsed, 4),
+            "lookups_per_second": round(done / elapsed, 1),
+        }
+    speedup = (
+        rows["dense"]["lookups_per_second"] / rows["sparse"]["lookups_per_second"]
+    )
+    return {
+        "batch": BATCH,
+        "dense": rows["dense"],
+        "sparse": rows["sparse"],
+        "speedup": round(speedup, 2),
     }
 
 
@@ -200,6 +366,8 @@ def test_serving_speed() -> None:
     thread, port = _start_service(service)
     try:
         lookup = _measure_qps(port, num_vertices)
+        lookup_pipelined = _measure_batched_pipelined(port, num_vertices)
+        single = _measure_single_lookup_modes(port, num_vertices)
         (stats_response,) = send_requests("127.0.0.1", port, [{"op": "stats"}])
         stats = stats_response["stats"]
     finally:
@@ -207,6 +375,8 @@ def test_serving_speed() -> None:
         thread.join(timeout=60)
     lookup["latency_p50_s"] = stats["latency_p50_s"]
     lookup["latency_p99_s"] = stats["latency_p99_s"]
+    assert stats["pipeline_depth_max"] >= 2.0  # the bursts really pipelined
+    store_paths = _measure_store_paths()
 
     churn = _steady_state_churn(graph, service.pipeline)
     churn["max_swap_seconds"] = max(
@@ -223,20 +393,34 @@ def test_serving_speed() -> None:
             "generator": "powerlaw-cluster (10 edges/vertex, p_triangle 0.7)",
             "seed": SEED,
         },
-        "min_qps_floor": MIN_QPS,
+        "floors": {
+            "min_qps": MIN_QPS,
+            "min_batched_qps": MIN_BATCHED_QPS,
+            "min_pipeline_speedup": MIN_PIPELINE_SPEEDUP,
+            "min_dense_speedup": MIN_DENSE_SPEEDUP,
+        },
         "lookup": lookup,
+        "lookup_pipelined": lookup_pipelined,
+        "single_lookup_modes": single,
+        "store_paths": store_paths,
         "churn": churn,
         "stability_sweep": sweep,
     }
     write_bench(BENCH_PATH, payload)
     print(
-        f"\nserving: {lookup['lookups_per_second']:.0f} lookups/s over TCP, "
-        f"steady-state phi {churn['phi_serving']:.4f} vs full recompute "
+        f"\nserving: {lookup['lookups_per_second']:.0f} lookups/s per-request, "
+        f"{lookup_pipelined['lookups_per_second']:.0f} pipelined over TCP; "
+        f"single-lookup pipelining x{single['speedup']:.1f}, dense store "
+        f"x{store_paths['speedup']:.2f}; steady-state phi "
+        f"{churn['phi_serving']:.4f} vs full recompute "
         f"{churn['phi_full_recompute']:.4f}, max swap "
         f"{churn['max_swap_seconds'] * 1e3:.2f}ms -> {BENCH_PATH.name}"
     )
 
     assert lookup["lookups_per_second"] >= MIN_QPS
+    assert lookup_pipelined["lookups_per_second"] >= MIN_BATCHED_QPS
+    assert single["speedup"] >= MIN_PIPELINE_SPEEDUP
+    assert store_paths["speedup"] >= MIN_DENSE_SPEEDUP
     assert churn["max_swap_seconds"] <= MAX_SWAP_SECONDS
     assert churn["phi_serving"] >= churn["phi_full_recompute"] - PHI_MARGIN
     for row in sweep:

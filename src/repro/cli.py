@@ -404,6 +404,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds between periodic metrics log lines on stderr "
         "(0 disables)",
     )
+    serve.add_argument(
+        "--latency-sample-every",
+        type=int,
+        default=16,
+        help="record one lookup latency sample in every N requests "
+        "(1 samples every request; default 16)",
+    )
+    serve.add_argument(
+        "--max-pipeline",
+        type=int,
+        default=1024,
+        help="most buffered request lines answered as one pipelined "
+        "batch with a single coalesced response write "
+        "(1 degenerates to one response write per request; default 1024)",
+    )
 
     return parser
 
@@ -690,6 +705,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         _fail(f"--port must lie in [0, 65535], got {args.port}")
     if args.log_interval < 0:
         _fail(f"--log-interval must be >= 0, got {args.log_interval}")
+    if args.latency_sample_every < 1:
+        _fail(
+            f"--latency-sample-every must be >= 1, got {args.latency_sample_every}"
+        )
+    if args.max_pipeline < 1:
+        _fail(f"--max-pipeline must be >= 1, got {args.max_pipeline}")
     if args.assignment is not None and not os.path.isfile(args.assignment):
         _fail(f"assignment file {args.assignment!r} does not exist")
 
@@ -715,6 +736,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             storage_chunk=args.storage_chunk,
         ),
         log_interval=args.log_interval,
+        latency_sample_every=args.latency_sample_every,
+        max_pipeline_batch=args.max_pipeline,
     )
     logging.basicConfig(
         stream=sys.stderr,

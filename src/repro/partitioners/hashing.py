@@ -30,6 +30,24 @@ def _mix(vertex_id: int) -> int:
     return z ^ (z >> 31)
 
 
+def hash_label(vertex_id: int, num_partitions: int) -> int:
+    """Scalar ``splitmix64(id) mod k`` — the single-vertex twin of
+    :func:`hash_labels_array`.
+
+    Operates on plain Python ints so a single miss in the serving layer's
+    :meth:`~repro.serving.store.AssignmentSnapshot.lookup` costs no array
+    allocation.  Equal to ``hash_labels_array(np.asarray([vertex_id]), k)[0]``
+    for every non-negative 63-bit id (the fuzz suite in
+    ``tests/test_serving_dataplane.py`` pins this).  Negative ids are
+    rejected: every graph layer uses non-negative ids, and the uint64
+    wrap the array helper applies to a negative input would silently
+    route a corrupt id instead of surfacing the bug.
+    """
+    if vertex_id < 0:
+        raise ValueError(f"vertex id must be non-negative, got {vertex_id}")
+    return _mix(vertex_id) % num_partitions
+
+
 def hash_labels_array(vertex_ids: np.ndarray, num_partitions: int) -> np.ndarray:
     """Vectorized ``_mix(id) mod k`` over an id array (identical to ``_mix``).
 

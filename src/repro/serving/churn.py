@@ -81,6 +81,13 @@ class ServingConfig:
         halting, storage tier).
     log_interval:
         Seconds between periodic structured log lines (0 disables).
+    latency_sample_every:
+        Lookup-latency sampling stride: one request in this many enters
+        the metrics reservoir (1 records every request).
+    max_pipeline_batch:
+        Most buffered request lines the connection handler drains into
+        one decoded batch / coalesced response write (bounds per-batch
+        memory; 1 degenerates to request-per-response).
     """
 
     num_partitions: int
@@ -91,6 +98,8 @@ class ServingConfig:
     num_workers: int = 4
     spinner: SpinnerConfig = field(default_factory=SpinnerConfig)
     log_interval: float = 10.0
+    latency_sample_every: int = 16
+    max_pipeline_batch: int = 1024
 
     def __post_init__(self) -> None:
         if self.num_partitions <= 0:
@@ -119,6 +128,14 @@ class ServingConfig:
         if self.log_interval < 0:
             raise ServingError(
                 f"log_interval must be >= 0, got {self.log_interval}"
+            )
+        if self.latency_sample_every < 1:
+            raise ServingError(
+                f"latency_sample_every must be >= 1, got {self.latency_sample_every}"
+            )
+        if self.max_pipeline_batch < 1:
+            raise ServingError(
+                f"max_pipeline_batch must be >= 1, got {self.max_pipeline_batch}"
             )
 
 

@@ -1,20 +1,26 @@
 """Observability surface of the sharding service.
 
 Plain counters and gauges — no third-party metrics dependency — plus a
-bounded reservoir of recent lookup latencies for the p50/p99 quantiles.
-Everything is mutated from the service's event loop (or, for repartition
-gauges, from the loop right after a background run completes), so no
-locking is needed; :meth:`ServingMetrics.stats` renders one consistent
-dictionary for the ``stats`` query and
-:meth:`ServingMetrics.log_line` a ``key=value`` structured log line for
-the periodic logger.
+preallocated reservoir of *sampled* lookup latencies for the p50/p99
+quantiles: one request in ``sample_every`` (default
+:data:`LATENCY_SAMPLE_EVERY`) records its latency into a fixed-size ring
+buffer, so measurement stops taxing the measured path at high QPS while
+the quantiles stay statistically representative.  Everything is mutated
+from the service's event loop (or, for repartition gauges, from the loop
+right after a background run completes), so no locking is needed;
+:meth:`ServingMetrics.stats` renders one consistent dictionary for the
+``stats`` query and :meth:`ServingMetrics.log_line` a ``key=value``
+structured log line for the periodic logger.
 
 Tracked signals (the issue's observability checklist):
 
 * ``lookups_total`` / ``vertices_looked_up`` / ``fallback_lookups`` and
   the derived overall + windowed lookups/sec;
-* lookup latency p50/p99 (seconds, over the last
-  :data:`LATENCY_RESERVOIR` requests);
+* lookup latency p50/p99 (seconds, 1-in-``sample_every`` sampled into a
+  preallocated :data:`LATENCY_RESERVOIR`-slot ring);
+* pipeline signals: ``pipeline_batches`` / ``pipeline_requests``
+  counters and the last/max/mean batch depth the connection handler
+  drained per write-coalesced response flush;
 * current snapshot ``version``;
 * ``phi`` / ``rho`` of the live assignment (gauges refreshed at every
   publish, recomputable on demand via the service's ``quality`` op);
@@ -25,10 +31,14 @@ Tracked signals (the issue's observability checklist):
 from __future__ import annotations
 
 import time
-from collections import deque
 
-#: Number of most recent lookup latencies kept for the quantile estimates.
+from repro.errors import ServingError
+
+#: Slots in the preallocated latency ring (most recent samples win).
 LATENCY_RESERVOIR = 4096
+
+#: Default sampling stride: one request in this many records its latency.
+LATENCY_SAMPLE_EVERY = 16
 
 
 def _quantile(samples: list[float], q: float) -> float:
@@ -40,8 +50,11 @@ def _quantile(samples: list[float], q: float) -> float:
 class ServingMetrics:
     """Counters, gauges and latency quantiles for one service instance."""
 
-    def __init__(self) -> None:
+    def __init__(self, sample_every: int = LATENCY_SAMPLE_EVERY) -> None:
+        if sample_every < 1:
+            raise ServingError(f"sample_every must be >= 1, got {sample_every}")
         self.started_at = time.monotonic()
+        self.sample_every = int(sample_every)
         self.counters: dict[str, int] = {
             "lookups_total": 0,
             "vertices_looked_up": 0,
@@ -49,24 +62,62 @@ class ServingMetrics:
             "ingested_edges": 0,
             "ingested_vertices": 0,
             "repartitions": 0,
+            "pipeline_batches": 0,
+            "pipeline_requests": 0,
         }
         self.gauges: dict[str, float] = {}
-        self._latencies: deque[float] = deque(maxlen=LATENCY_RESERVOIR)
+        # Preallocated ring: no per-request allocation, O(1) writes.
+        self._latency_ring: list[float] = [0.0] * LATENCY_RESERVOIR
+        self._latency_cursor = 0
+        self._latency_filled = 0
         self._window_started = self.started_at
         self._window_lookups = 0
 
     # ------------------------------------------------------------------
     # recording
     # ------------------------------------------------------------------
+    def _record_latency(self, seconds: float) -> None:
+        self._latency_ring[self._latency_cursor] = seconds
+        self._latency_cursor = (self._latency_cursor + 1) % LATENCY_RESERVOIR
+        if self._latency_filled < LATENCY_RESERVOIR:
+            self._latency_filled += 1
+
     def observe_lookup(
         self, num_vertices: int, num_fallback: int, seconds: float
     ) -> None:
         """Record one lookup request covering ``num_vertices`` vertices."""
-        self.counters["lookups_total"] += 1
+        self.observe_lookup_batch(1, num_vertices, num_fallback, seconds)
+
+    def observe_lookup_batch(
+        self,
+        num_requests: int,
+        num_vertices: int,
+        num_fallback: int,
+        seconds: float,
+    ) -> None:
+        """Record ``num_requests`` fused lookup requests answered together.
+
+        ``seconds`` is the wall time of the whole fused batch; when the
+        sampling stride falls inside the batch, one per-request estimate
+        (``seconds / num_requests``) enters the reservoir.
+        """
+        before = self.counters["lookups_total"]
+        self.counters["lookups_total"] = before + num_requests
         self.counters["vertices_looked_up"] += num_vertices
         self.counters["fallback_lookups"] += num_fallback
         self._window_lookups += num_vertices
-        self._latencies.append(seconds)
+        # Sample iff some i in [before, before + num_requests) hits the stride.
+        phase = before % self.sample_every
+        if phase == 0 or phase + num_requests > self.sample_every:
+            self._record_latency(seconds / num_requests)
+
+    def observe_pipeline(self, depth: int) -> None:
+        """Record one drained request batch of ``depth`` buffered lines."""
+        self.counters["pipeline_batches"] += 1
+        self.counters["pipeline_requests"] += depth
+        self.gauges["pipeline_depth_last"] = float(depth)
+        if depth > self.gauges.get("pipeline_depth_max", 0.0):
+            self.gauges["pipeline_depth_max"] = float(depth)
 
     def observe_ingest(self, num_edges: int, num_vertices: int) -> None:
         """Record one churn delta entering the pipeline."""
@@ -102,10 +153,10 @@ class ServingMetrics:
     # rendering
     # ------------------------------------------------------------------
     def latency_quantiles(self) -> dict[str, float]:
-        """p50/p99 of the recent lookup latencies (seconds; 0 when empty)."""
-        if not self._latencies:
+        """p50/p99 of the sampled lookup latencies (seconds; 0 when empty)."""
+        if not self._latency_filled:
             return {"latency_p50_s": 0.0, "latency_p99_s": 0.0}
-        ordered = sorted(self._latencies)
+        ordered = sorted(self._latency_ring[: self._latency_filled])
         return {
             "latency_p50_s": _quantile(ordered, 0.50),
             "latency_p99_s": _quantile(ordered, 0.99),
@@ -133,6 +184,11 @@ class ServingMetrics:
         payload: dict = dict(self.counters)
         payload.update({name: value for name, value in sorted(self.gauges.items())})
         payload.update(self.latency_quantiles())
+        payload["latency_sample_every"] = self.sample_every
+        batches = self.counters["pipeline_batches"]
+        payload["pipeline_depth_mean"] = (
+            self.counters["pipeline_requests"] / batches if batches else 0.0
+        )
         payload["lookups_per_sec"] = self.lookups_per_second()
         payload["uptime_seconds"] = time.monotonic() - self.started_at
         return payload

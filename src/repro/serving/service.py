@@ -13,6 +13,9 @@ one JSON object on one line.  Operations:
     Batched query: ``partitions`` (aligned list) and ``fallbacks`` (the
     indices answered by the hash fallback), all from one snapshot — a
     batch can never straddle a version swap.
+``{"op": "lookup_batch", "vertices": [7, 8, 9]}``
+    Explicit name for the batched query above (``vertices`` required);
+    same vectorized path, same response shape.
 ``{"op": "ingest", "edges": [[u, v], [u, v, w], ...], "vertices": [...]}``
     Feed a churn delta into the pipeline; may trigger a background
     repartition (the response says whether one was started or running).
@@ -37,6 +40,20 @@ worker thread via :meth:`ChurnPipeline.execute` (NumPy releases the GIL
 for the heavy kernels), so the loop — and therefore lookup latency —
 never blocks on repartitioning.  The only loop-side repartition work is
 the bounded graph freeze and the O(1) snapshot swap.
+
+**Pipelining.**  The connection handler drains every request line a
+client already sent (up to ``max_pipeline_batch``) before replying,
+answers the whole batch, and writes all responses with one
+``writer.write`` + one ``drain()`` instead of one round trip per
+request.  Consecutive single-vertex ``lookup`` requests inside a batch
+are fused into one vectorized
+:meth:`~repro.serving.store.AssignmentSnapshot.lookup_many` against a
+*single* snapshot reference — consistent because those requests were
+already concurrently in flight, so any serialization of them against a
+racing publish is admissible, and one snapshot per batch is exactly the
+guarantee the batched ``lookup`` op already gives.  Responses stay in
+request order and byte-identical to the per-request output; a
+sequential request/response client observes no behavioural change.
 """
 
 from __future__ import annotations
@@ -60,6 +77,20 @@ logger = logging.getLogger("repro.serving")
 
 #: StreamReader line limit — batched lookups of ~100k vertices fit.
 _LINE_LIMIT = 1 << 22
+
+#: Exceptions a request is allowed to fail with (rendered as an error
+#: response instead of killing the connection).
+_REQUEST_ERRORS = (json.JSONDecodeError, ServingError, ValueError, TypeError)
+
+
+def _encode(response: dict) -> bytes:
+    """Serialize one response as a JSON line (the wire format)."""
+    return json.dumps(response).encode("utf-8") + b"\n"
+
+
+def _is_single_lookup(payload: dict) -> bool:
+    """Whether a request takes the single-vertex lookup path (fusable)."""
+    return payload.get("op") == "lookup" and "vertex" in payload
 
 
 def _parse_delta(payload: dict) -> GraphDelta:
@@ -112,7 +143,7 @@ class ShardingService:
         self.config = config
         self.host = host
         self.port = port
-        self.metrics = ServingMetrics()
+        self.metrics = ServingMetrics(sample_every=config.latency_sample_every)
         self.store = AssignmentStore(config.num_partitions)
         self.pipeline = ChurnPipeline(graph, self.store, config, self.metrics)
         self.last_report = None
@@ -178,14 +209,22 @@ class ShardingService:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        max_batch = self.config.max_pipeline_batch
+        # The StreamReader's internal buffer: re-checked after every
+        # readline, so "a full line is already buffered" is answered
+        # without yielding to the network.  Absent attribute (foreign
+        # reader implementation) degrades to request-per-response.
+        buffered = getattr(reader, "_buffer", None)
         try:
             while True:
                 line = await reader.readline()
                 if not line:
                     break
-                response, stop_after = await self._dispatch_line(line)
-                writer.write(json.dumps(response).encode("utf-8") + b"\n")
-                await writer.drain()
+                lines = [line]
+                if buffered is not None:
+                    while len(lines) < max_batch and b"\n" in buffered:
+                        lines.append(await reader.readline())
+                stop_after = await self._respond_batch(lines, writer)
                 if stop_after:
                     assert self._stopped is not None
                     self._stopped.set()
@@ -199,19 +238,133 @@ class ShardingService:
             except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
                 pass
 
-    async def _dispatch_line(self, line: bytes) -> tuple[dict, bool]:
+    async def _respond_batch(
+        self, lines: list[bytes], writer: asyncio.StreamWriter
+    ) -> bool:
+        """Answer one drained batch with a single coalesced write.
+
+        Responses are serialized into one buffer in request order;
+        consecutive single-vertex lookups are answered by one vectorized
+        call against one snapshot.  A ``shutdown`` mid-batch stops
+        processing after its acknowledgement, exactly like the
+        per-request loop (which would never read the later lines).
+        """
+        self.metrics.observe_pipeline(len(lines))
+        parsed = [self._parse_line(line) for line in lines]
+        chunks: list[bytes] = []
+        stop_after = False
+        index = 0
+        while index < len(parsed):
+            payload, error = parsed[index]
+            if error is not None:
+                chunks.append(_encode(error))
+                index += 1
+                continue
+            if _is_single_lookup(payload):
+                end = index + 1
+                while (
+                    end < len(parsed)
+                    and parsed[end][1] is None
+                    and _is_single_lookup(parsed[end][0])
+                ):
+                    end += 1
+                if end == index + 1:
+                    chunks.append(self._encode_single_lookup(payload))
+                else:
+                    chunks.extend(
+                        self._fused_lookup_run(
+                            [item[0] for item in parsed[index:end]]
+                        )
+                    )
+                index = end
+                continue
+            if payload.get("op") == "wait_version" and chunks:
+                # Flush finished responses before an op that may block for
+                # a long time, so the client is not starved of them.
+                writer.write(b"".join(chunks))
+                await writer.drain()
+                chunks = []
+            response, stop_after = await self._dispatch_safe(payload)
+            chunks.append(_encode(response))
+            index += 1
+            if stop_after:
+                break
+        if chunks:
+            writer.write(b"".join(chunks))
+            await writer.drain()
+        return stop_after
+
+    @staticmethod
+    def _parse_line(line: bytes) -> tuple[dict | None, dict | None]:
+        """Decode one request line into ``(payload, error_response)``."""
         try:
             payload = json.loads(line)
             if not isinstance(payload, dict):
                 raise ServingError("request must be a JSON object")
+            return payload, None
+        except _REQUEST_ERRORS as exc:
+            return None, {"ok": False, "error": str(exc)}
+
+    async def _dispatch_safe(self, payload: dict) -> tuple[dict, bool]:
+        try:
             return await self._dispatch(payload)
-        except (json.JSONDecodeError, ServingError, ValueError, TypeError) as exc:
+        except _REQUEST_ERRORS as exc:
             return {"ok": False, "error": str(exc)}, False
+
+    def _encode_single_lookup(self, payload: dict) -> bytes:
+        """One single-vertex lookup, errors rendered like any request."""
+        try:
+            return _encode(self.lookup(payload["vertex"]))
+        except _REQUEST_ERRORS as exc:
+            return _encode({"ok": False, "error": str(exc)})
+
+    def _fused_lookup_run(self, payloads: list[dict]) -> list[bytes]:
+        """Answer a run of single-vertex lookups from one snapshot.
+
+        One vectorized ``lookup_many`` replaces the per-request scalar
+        probes; the responses are byte-identical to the per-request
+        output (same keys, same order, same ``version`` semantics — the
+        batch was concurrently in flight, so one snapshot reference is an
+        admissible serialization).  Any malformed vertex drops the whole
+        run back to per-request processing so error responses match
+        exactly.
+        """
+        start = time.perf_counter()
+        snapshot = self.store.current()
+        try:
+            query = np.fromiter(
+                (int(payload["vertex"]) for payload in payloads),
+                dtype=np.int64,
+                count=len(payloads),
+            )
+            labels, fallback = snapshot.lookup_many(query)
+        except _REQUEST_ERRORS + (OverflowError, KeyError):
+            return [self._encode_single_lookup(payload) for payload in payloads]
+        self.metrics.observe_lookup_batch(
+            len(payloads),
+            len(payloads),
+            int(fallback.sum()),
+            time.perf_counter() - start,
+        )
+        version = snapshot.version
+        return [
+            _encode(
+                {
+                    "ok": True,
+                    "version": version,
+                    "partition": partition,
+                    "fallback": flagged,
+                }
+            )
+            for partition, flagged in zip(labels.tolist(), fallback.tolist())
+        ]
 
     async def _dispatch(self, payload: dict) -> tuple[dict, bool]:
         op = payload.get("op")
         if op == "lookup":
             return self._op_lookup(payload), False
+        if op == "lookup_batch":
+            return self._op_lookup_batch(payload), False
         if op == "ingest":
             return await self._op_ingest(payload), False
         if op == "stats":
@@ -246,7 +399,9 @@ class ShardingService:
         """Batched lookup — answered from exactly one snapshot version."""
         start = time.perf_counter()
         snapshot = self.store.current()
-        query = np.asarray(list(vertices), dtype=np.int64)
+        if not isinstance(vertices, (list, np.ndarray)):
+            vertices = list(vertices)
+        query = np.asarray(vertices, dtype=np.int64)
         labels, fallback = snapshot.lookup_many(query)
         self.metrics.observe_lookup(
             int(query.shape[0]),
@@ -266,6 +421,11 @@ class ShardingService:
         if "vertices" in payload:
             return self.lookup_many(payload["vertices"])
         return {"ok": False, "error": "lookup requires 'vertex' or 'vertices'"}
+
+    def _op_lookup_batch(self, payload: dict) -> dict:
+        if "vertices" not in payload:
+            return {"ok": False, "error": "lookup_batch requires 'vertices'"}
+        return self.lookup_many(payload["vertices"])
 
     # -- churn ----------------------------------------------------------
     async def _op_ingest(self, payload: dict) -> dict:
@@ -397,20 +557,44 @@ class ShardingService:
 
 
 def send_requests(
-    host: str, port: int, requests: list[dict], timeout: float = 30.0
+    host: str,
+    port: int,
+    requests: list[dict],
+    timeout: float = 30.0,
+    *,
+    pipeline: bool = False,
 ) -> list[dict]:
     """Blocking JSON-lines client (tests, CI smoke, quick CLI probes).
 
-    Opens one connection, sends every request in order and returns the
-    aligned list of responses.
+    Opens one connection and returns the aligned list of responses.
+    ``pipeline=False`` (default) sends one request and waits for its
+    response before the next — one round trip per request.
+    ``pipeline=True`` sends *every* request in one buffer, then reads all
+    responses: this exercises the server's batch drain, lookup fusion and
+    write coalescing, and is how the benchmark measures pipelined
+    throughput.  A ``shutdown`` should be the last pipelined request —
+    the server stops reading after acknowledging it.
     """
     responses: list[dict] = []
     with socket.create_connection((host, port), timeout=timeout) as conn:
         reader = conn.makefile("rb")
-        for payload in requests:
-            conn.sendall(json.dumps(payload).encode("utf-8") + b"\n")
-            line = reader.readline()
-            if not line:
-                raise ServingError("connection closed before a response arrived")
-            responses.append(json.loads(line))
+        if pipeline:
+            conn.sendall(
+                b"".join(
+                    json.dumps(payload).encode("utf-8") + b"\n"
+                    for payload in requests
+                )
+            )
+            for _ in requests:
+                line = reader.readline()
+                if not line:
+                    raise ServingError("connection closed before a response arrived")
+                responses.append(json.loads(line))
+        else:
+            for payload in requests:
+                conn.sendall(json.dumps(payload).encode("utf-8") + b"\n")
+                line = reader.readline()
+                if not line:
+                    raise ServingError("connection closed before a response arrived")
+                responses.append(json.loads(line))
     return responses

@@ -2,8 +2,24 @@
 
 The serving layer's core data structure.  A :class:`AssignmentSnapshot`
 is an *immutable* pair of parallel int64 arrays — sorted original vertex
-ids and their partition labels — plus a version number; lookups are a
-``searchsorted`` probe, batched lookups are fully vectorized.  The
+ids and their partition labels — plus a version number; batched lookups
+are fully vectorized.  Snapshots come in two physical representations
+behind one logical contract:
+
+* **dense** — when the sorted ids are contiguous
+  (``ids[0] + n - 1 == ids[-1]``, the common case for generated and
+  ingested graphs, which number vertices ``0..n-1``), a covered lookup
+  is a single O(1) array load at ``labels[vertex - ids[0]]``;
+* **sparse** — otherwise, a covered lookup is the O(log n)
+  ``searchsorted`` probe.
+
+Both representations are pinned byte-identical on a randomized
+equivalence suite (``tests/test_serving_dataplane.py``).  The
+:class:`AssignmentStore` holds the current snapshot behind a single
+reference that is swapped atomically by :meth:`AssignmentStore.publish`,
+so readers racing a background repartition always observe one complete,
+internally consistent version: either the old snapshot or the new one,
+never a mixture.
 :class:`AssignmentStore` holds the current snapshot behind a single
 reference that is swapped atomically by :meth:`AssignmentStore.publish`,
 so readers racing a background repartition always observe one complete,
@@ -39,7 +55,7 @@ import numpy as np
 from repro.core.state import validate_label_array
 from repro.errors import ServingError
 from repro.graph.io import read_partitioning, write_partitioning_array
-from repro.partitioners.hashing import hash_labels_array
+from repro.partitioners.hashing import hash_label, hash_labels_array
 
 
 class AssignmentSnapshot:
@@ -58,7 +74,7 @@ class AssignmentSnapshot:
         fallback for uncovered ids).
     """
 
-    __slots__ = ("version", "ids", "labels", "num_partitions")
+    __slots__ = ("version", "ids", "labels", "num_partitions", "_dense_base")
 
     def __init__(
         self,
@@ -82,40 +98,75 @@ class AssignmentSnapshot:
         self.ids = ids
         self.labels = labels
         self.num_partitions = num_partitions
+        # Contiguous sorted ids mean vertex -> labels[vertex - ids[0]] is a
+        # direct index: no searchsorted probe and no extra table (the label
+        # array itself *is* the dense map).
+        if ids.size and int(ids[0]) + ids.size - 1 == int(ids[-1]):
+            self._dense_base = int(ids[0])
+        else:
+            self._dense_base = None
 
     @property
     def num_vertices(self) -> int:
         """Number of vertices covered by this snapshot."""
         return int(self.ids.shape[0])
 
+    @property
+    def is_dense(self) -> bool:
+        """Whether covered lookups use the O(1) direct-index representation."""
+        return self._dense_base is not None
+
     def lookup(self, vertex: int) -> tuple[int, bool]:
-        """Return ``(partition, fallback)`` for one vertex id."""
-        position = int(np.searchsorted(self.ids, vertex))
-        if position < self.ids.shape[0] and int(self.ids[position]) == vertex:
-            return int(self.labels[position]), False
-        return int(hash_labels_array(np.asarray([vertex]), self.num_partitions)[0]), True
+        """Return ``(partition, fallback)`` for one vertex id.
+
+        Covered ids are one O(1) array load on a dense snapshot (one
+        O(log n) probe on a sparse one); a miss is routed by the scalar
+        :func:`~repro.partitioners.hashing.hash_label` — no array is
+        allocated on either path.
+        """
+        if self._dense_base is not None:
+            offset = vertex - self._dense_base
+            if 0 <= offset < self.ids.shape[0]:
+                return int(self.labels[offset]), False
+        elif self.ids.shape[0]:
+            position = int(np.searchsorted(self.ids, vertex))
+            if position < self.ids.shape[0] and int(self.ids[position]) == vertex:
+                return int(self.labels[position]), False
+        return hash_label(vertex, self.num_partitions), True
 
     def lookup_many(self, vertices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Vectorized lookup: ``(labels, fallback_mask)`` for an id array.
 
         Covered ids get their snapshot label; uncovered ids get the hash
-        fallback and a set bit in ``fallback_mask``.
+        fallback and a set bit in ``fallback_mask``.  Only the miss
+        subset is hashed — a full-hit batch (the steady-state serving
+        case) does no fallback work at all.
         """
         query = np.asarray(vertices, dtype=np.int64)
-        if self.ids.size == 0:
-            return hash_labels_array(query, self.num_partitions), np.ones(
-                query.shape[0], dtype=bool
+        n = self.ids.shape[0]
+        if n == 0:
+            return self._hash_fallback(query), np.ones(query.shape[0], dtype=bool)
+        labels = np.empty(query.shape[0], dtype=np.int64)
+        if self._dense_base is not None:
+            offset = query - self._dense_base
+            found = (offset >= 0) & (offset < n)
+            labels[found] = self.labels[offset[found]]
+        else:
+            position = np.minimum(np.searchsorted(self.ids, query), n - 1)
+            found = self.ids[position] == query
+            labels[found] = self.labels[position[found]]
+        miss = ~found
+        if miss.any():
+            labels[miss] = self._hash_fallback(query[miss])
+        return labels, miss
+
+    def _hash_fallback(self, query: np.ndarray) -> np.ndarray:
+        """Hash-route uncovered ids (rejecting negatives like :func:`hash_label`)."""
+        if query.size and int(query.min()) < 0:
+            raise ServingError(
+                f"vertex ids must be non-negative, got {int(query.min())}"
             )
-        position = np.minimum(
-            np.searchsorted(self.ids, query), self.ids.shape[0] - 1
-        )
-        found = self.ids[position] == query
-        labels = np.where(
-            found,
-            self.labels[position],
-            hash_labels_array(query, self.num_partitions),
-        )
-        return labels.astype(np.int64, copy=False), ~found
+        return hash_labels_array(query, self.num_partitions)
 
     def to_assignment(self) -> dict[int, int]:
         """Render as a ``{vertex id: partition}`` dictionary."""
